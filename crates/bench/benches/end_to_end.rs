@@ -1,0 +1,159 @@
+//! Per-figure end-to-end benches: one packet exchange per configuration of
+//! the paper's main experiments. `cargo bench` therefore regenerates a
+//! miniature of each figure's workload; the full series come from
+//! `cargo run -p aqua-eval --release --bin repro`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use aqua_channel::environments::{Environment, Site};
+use aqua_channel::geometry::Pos;
+use aqua_channel::link::{Link, LinkConfig};
+use aqua_channel::mobility::Trajectory;
+use aqua_mac::netsim::{simulate, MacConfig};
+use aqua_phy::fsk::{demodulate, modulate, FskParams};
+use aquapp::trial::{run_trial, Scheme, TrialConfig};
+use aqua_phy::bandselect::Band;
+
+fn fig9_environments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_packet_exchange");
+    group.sample_size(10);
+    for site in [Site::Bridge, Site::Park, Site::Lake] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{site:?}")), &site, |b, &site| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = TrialConfig::standard(
+                    Environment::preset(site),
+                    Pos::new(0.0, 0.0, 1.0),
+                    Pos::new(5.0, 0.0, 1.0),
+                    seed,
+                );
+                black_box(run_trial(&cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig12_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_range_lake");
+    group.sample_size(10);
+    for dist in [5.0_f64, 15.0, 30.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{dist}m")), &dist, |b, &dist| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = TrialConfig::standard(
+                    Environment::preset(Site::Lake),
+                    Pos::new(0.0, 0.0, 1.0),
+                    Pos::new(dist, 0.0, 1.0),
+                    seed,
+                );
+                black_box(run_trial(&cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig14_mobility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_mobility_lake_5m");
+    group.sample_size(10);
+    for (name, accel) in [("static", 0.0_f64), ("slow", 2.5), ("fast", 5.1)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &accel, |b, &accel| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut cfg = TrialConfig::standard(
+                    Environment::preset(Site::Lake),
+                    Pos::new(0.0, 0.0, 1.0),
+                    Pos::new(5.0, 0.0, 1.0),
+                    seed,
+                );
+                if accel > 0.0 {
+                    cfg.alice_traj = Trajectory::Oscillating {
+                        base: Pos::new(0.0, 0.0, 1.0),
+                        azimuth: 0.0,
+                        rms_accel: accel,
+                        seed,
+                    };
+                }
+                black_box(run_trial(&cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig12d_fsk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12d_fsk_beacon");
+    group.sample_size(10);
+    for (name, params) in [("10bps", FskParams::bps10()), ("20bps", FskParams::bps20())] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, params| {
+            let bits = vec![1u8, 0, 1, 1, 0, 0, 1, 0, 1, 0];
+            let tx = modulate(params, &bits);
+            let mut link = Link::new(LinkConfig::s9_pair(
+                Environment::preset(Site::Beach),
+                Pos::new(0.0, 0.0, 1.0),
+                Pos::new(100.0, 0.0, 1.0),
+                9,
+            ));
+            let rx = link.transmit(&tx, 0.0);
+            let delay = (100.0 / 1500.0 * params.fs) as usize;
+            b.iter(|| black_box(demodulate(params, black_box(&rx), delay, bits.len())))
+        });
+    }
+    group.finish();
+}
+
+fn fig19_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19_mac_sim");
+    group.sample_size(10);
+    for n_tx in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_tx), &n_tx, |b, &n_tx| {
+            let gains = vec![vec![1e-4; n_tx]; n_tx];
+            let noise = vec![1e-6; n_tx];
+            b.iter(|| {
+                let cfg = MacConfig {
+                    max_packets: 60,
+                    ..MacConfig::default()
+                };
+                black_box(simulate(&cfg, &gains, &noise, 3))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fixed_vs_adaptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheme_comparison_lake_10m");
+    group.sample_size(10);
+    for (name, scheme) in [
+        ("adaptive", Scheme::Adaptive),
+        ("fixed_full_band", Scheme::Fixed(Band { start: 0, end: 59 })),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, scheme| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut cfg = TrialConfig::standard(
+                    Environment::preset(Site::Lake),
+                    Pos::new(0.0, 0.0, 1.0),
+                    Pos::new(10.0, 0.0, 1.0),
+                    seed,
+                );
+                cfg.scheme = *scheme;
+                black_box(run_trial(&cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = fig9_environments, fig12_range, fig14_mobility, fig12d_fsk, fig19_mac, fixed_vs_adaptive
+}
+criterion_main!(benches);

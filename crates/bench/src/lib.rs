@@ -1,0 +1,6 @@
+//! # aqua-bench
+//!
+//! Criterion benchmark targets for the AquaModem workspace. The library
+//! itself is empty — all content lives in `benches/` (one bench per paper
+//! figure plus hot-path microbenches). See DESIGN.md §5 for the experiment
+//! index mapping figures to bench targets.

@@ -1,0 +1,76 @@
+//! Propagation losses: spherical spreading and seawater absorption.
+//!
+//! At the modem's 1–4 kHz band and ≤ ~113 m ranges, Thorp absorption is a
+//! fraction of a dB — spreading and boundary interference dominate — but we
+//! implement it for physical completeness (and so range sweeps beyond the
+//! paper's distances stay honest).
+
+/// Nominal underwater sound speed in m/s (the paper's 1500 m/s).
+pub const SOUND_SPEED_WATER: f64 = 1500.0;
+/// Nominal in-air sound speed in m/s, for the Fig. 3c air experiments.
+pub const SOUND_SPEED_AIR: f64 = 343.0;
+
+/// Thorp's absorption formula: attenuation in dB/km at frequency `f_khz`.
+///
+/// α = 0.11 f²/(1+f²) + 44 f²/(4100+f²) + 2.75e-4 f² + 0.003
+pub fn thorp_db_per_km(f_khz: f64) -> f64 {
+    let f2 = f_khz * f_khz;
+    0.11 * f2 / (1.0 + f2) + 44.0 * f2 / (4100.0 + f2) + 2.75e-4 * f2 + 0.003
+}
+
+/// Total absorption loss in dB over `distance_m` meters at `freq_hz`.
+pub fn absorption_db(freq_hz: f64, distance_m: f64) -> f64 {
+    thorp_db_per_km(freq_hz / 1000.0) * distance_m / 1000.0
+}
+
+/// Spherical spreading loss in dB relative to 1 m: `20·log10(d)`.
+pub fn spreading_db(distance_m: f64) -> f64 {
+    20.0 * distance_m.max(1e-3).log10()
+}
+
+/// Linear amplitude gain for a path of `distance_m` meters at a nominal
+/// frequency `freq_hz` (combines spreading and absorption, referenced to
+/// unit gain at 1 m).
+pub fn path_amplitude(freq_hz: f64, distance_m: f64) -> f64 {
+    let loss_db = spreading_db(distance_m) + absorption_db(freq_hz, distance_m);
+    10f64.powf(-loss_db / 20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thorp_matches_published_magnitudes() {
+        // ~0.06 dB/km near 1 kHz, ~0.3 dB/km near 4 kHz, tens of dB/km at 100 kHz.
+        let a1 = thorp_db_per_km(1.0);
+        assert!(a1 > 0.03 && a1 < 0.12, "1 kHz: {a1}");
+        let a4 = thorp_db_per_km(4.0);
+        assert!(a4 > 0.2 && a4 < 0.5, "4 kHz: {a4}");
+        let a100 = thorp_db_per_km(100.0);
+        assert!(a100 > 25.0 && a100 < 50.0, "100 kHz: {a100}");
+    }
+
+    #[test]
+    fn absorption_is_negligible_at_modem_scales() {
+        // Paper's operating point: <= 4 kHz, <= 113 m.
+        assert!(absorption_db(4000.0, 113.0) < 0.05);
+    }
+
+    #[test]
+    fn spreading_doubles_by_six_db() {
+        assert!((spreading_db(2.0) - 6.0206).abs() < 1e-3);
+        assert!((spreading_db(10.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_amplitude_decreases_with_distance_and_frequency() {
+        let a5 = path_amplitude(2000.0, 5.0);
+        let a30 = path_amplitude(2000.0, 30.0);
+        assert!(a5 > a30);
+        assert!((a5 - 0.2).abs() < 0.01, "1/d law at 5 m: {a5}");
+        let lo = path_amplitude(1000.0, 100.0);
+        let hi = path_amplitude(4000.0, 100.0);
+        assert!(lo >= hi);
+    }
+}

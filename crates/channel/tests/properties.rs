@@ -1,0 +1,85 @@
+//! Property-based tests on channel-model invariants.
+
+use aqua_channel::absorption::{path_amplitude, spreading_db, thorp_db_per_km};
+use aqua_channel::device::{CaseKind, Device, DeviceModel};
+use aqua_channel::geometry::{delay_spread_s, eigenrays, Boundaries, Pos};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Path amplitude decreases monotonically with distance.
+    #[test]
+    fn amplitude_monotone_in_distance(d1 in 1.0f64..200.0, extra in 0.1f64..100.0, f in 500.0f64..8000.0) {
+        prop_assert!(path_amplitude(f, d1) > path_amplitude(f, d1 + extra));
+    }
+
+    /// Thorp absorption increases with frequency.
+    #[test]
+    fn thorp_monotone(f in 0.1f64..90.0, df in 0.1f64..10.0) {
+        prop_assert!(thorp_db_per_km(f + df) > thorp_db_per_km(f));
+    }
+
+    /// Spreading loss follows 20·log10(d).
+    #[test]
+    fn spreading_is_spherical(d in 0.5f64..500.0) {
+        prop_assert!((spreading_db(d) - 20.0 * d.log10()).abs() < 1e-9);
+    }
+
+    /// The direct ray is always the shortest and first after sorting, and
+    /// all amplitudes are finite and bounded by the direct's.
+    #[test]
+    fn eigenray_geometry_invariants(
+        range in 1.0f64..80.0,
+        zt in 0.3f64..3.0,
+        zr in 0.3f64..3.0,
+        depth in 3.5f64..20.0,
+        sr in 0.3f64..0.95,
+        br in 0.1f64..0.8,
+    ) {
+        let rays = eigenrays(
+            &Pos::new(0.0, 0.0, zt),
+            &Pos::new(range, 0.0, zr),
+            &Boundaries { water_depth_m: depth, surface_reflectivity: sr, bottom_reflectivity: br },
+            2500.0,
+            1e-3,
+            10,
+        );
+        prop_assert!(!rays.is_empty());
+        let direct_len = (range * range + (zt - zr) * (zt - zr)).sqrt();
+        prop_assert!((rays[0].length_m - direct_len).abs() < 1e-6, "direct first");
+        let max_amp = rays.iter().map(|r| r.amplitude.abs()).fold(0.0, f64::max);
+        for r in &rays {
+            prop_assert!(r.length_m >= rays[0].length_m - 1e-9);
+            prop_assert!(r.amplitude.abs().is_finite());
+            prop_assert!(r.amplitude.abs() <= max_amp + 1e-12);
+        }
+        prop_assert!(delay_spread_s(&rays, 1500.0) >= 0.0);
+    }
+
+    /// Device responses are finite everywhere in the audio band and
+    /// deterministic.
+    #[test]
+    fn device_response_sane(f in 50.0f64..20_000.0, unit in 0u64..32) {
+        for model in DeviceModel::ALL {
+            let d = Device::new(model, CaseKind::SoftPouch, unit);
+            let tx = d.tx_response_db(f);
+            let rx = d.rx_response_db(f);
+            prop_assert!(tx.is_finite() && rx.is_finite());
+            // the >4 kHz rolloff reaches ≈ -180 dB by 19 kHz
+            prop_assert!((-250.0..=30.0).contains(&tx), "{model:?} tx({f}) = {tx}");
+            prop_assert_eq!(tx, d.tx_response_db(f));
+        }
+    }
+
+    /// Directivity loss is zero on boresight, non-positive elsewhere, and
+    /// symmetric in the angle.
+    #[test]
+    fn directivity_invariants(angle in -3.14f64..3.14) {
+        let d = Device::default_rig(1);
+        prop_assert_eq!(d.directivity_db(0.0), 0.0);
+        let loss = d.directivity_db(angle);
+        prop_assert!(loss <= 1e-12);
+        prop_assert!((loss - d.directivity_db(-angle)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! Differential coding across consecutive OFDM symbols (§2.3.1).
+//!
+//! A coded bit `b` for subcarrier `k` of symbol `i` is transmitted as
+//! `y_i(k) = y_{i-1}(k) XOR b`: the information lives in the *change*
+//! between consecutive symbols on the same subcarrier, so slow channel
+//! variation (phase drift from mobility) cancels out as long as the
+//! coherence time exceeds one OFDM symbol.
+
+/// Differentially encodes per-subcarrier bit streams.
+///
+/// `bits_per_symbol[i][k]` is the coded bit for subcarrier `k` of symbol
+/// `i` (`None` = no bit assigned; the previous symbol's value is repeated).
+/// `reference[k]` seeds the chain (the known training symbol). Returns the
+/// actual transmitted BPSK bits per symbol.
+pub fn encode(reference: &[u8], bits_per_symbol: &[Vec<Option<u8>>]) -> Vec<Vec<u8>> {
+    let l = reference.len();
+    let mut prev = reference.to_vec();
+    let mut out = Vec::with_capacity(bits_per_symbol.len());
+    for sym in bits_per_symbol {
+        assert_eq!(sym.len(), l, "subcarrier count mismatch");
+        let tx: Vec<u8> = (0..l)
+            .map(|k| match sym[k] {
+                Some(b) => prev[k] ^ b,
+                None => prev[k],
+            })
+            .collect();
+        prev = tx.clone();
+        out.push(tx);
+    }
+    out
+}
+
+/// Differentially decodes received per-subcarrier bits: recovers
+/// `b = y_i(k) XOR y_{i-1}(k)` with the known reference seeding the chain.
+pub fn decode(reference: &[u8], received: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let l = reference.len();
+    let mut prev = reference.to_vec();
+    let mut out = Vec::with_capacity(received.len());
+    for sym in received {
+        assert_eq!(sym.len(), l, "subcarrier count mismatch");
+        let bits: Vec<u8> = (0..l).map(|k| sym[k] ^ prev[k]).collect();
+        prev = sym.clone();
+        out.push(bits);
+    }
+    out
+}
+
+/// Soft differential decode on complex symbol values: for BPSK, the decision
+/// statistic for the bit between symbols `i-1` and `i` on one subcarrier is
+/// `Re(y_i · conj(y_{i-1}))` — positive means "same phase" (bit 0), negative
+/// means "flipped" (bit 1). Returns the soft value directly (caller feeds it
+/// to the soft Viterbi).
+pub fn soft_metric(prev_re: f64, prev_im: f64, cur_re: f64, cur_im: f64) -> f64 {
+    cur_re * prev_re + cur_im * prev_im
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_recovers_bits() {
+        let reference = vec![0, 1, 0, 1, 1];
+        let bits: Vec<Vec<Option<u8>>> = vec![
+            vec![Some(1), Some(0), Some(1), Some(1), Some(0)],
+            vec![Some(0), Some(1), Some(1), Some(0), Some(1)],
+            vec![Some(1), Some(1), Some(0), Some(0), Some(0)],
+        ];
+        let tx = encode(&reference, &bits);
+        let rx = decode(&reference, &tx);
+        for (got, want) in rx.iter().zip(&bits) {
+            let want_bits: Vec<u8> = want.iter().map(|b| b.unwrap()).collect();
+            assert_eq!(*got, want_bits);
+        }
+    }
+
+    #[test]
+    fn unassigned_bins_repeat_previous_symbol() {
+        let reference = vec![1, 0];
+        let bits = vec![vec![None, Some(1)]];
+        let tx = encode(&reference, &bits);
+        assert_eq!(tx[0][0], 1, "unassigned bin repeats reference");
+        assert_eq!(tx[0][1], 1, "0 XOR 1");
+        // decoded value of an unassigned bin is 0 (no change)
+        let rx = decode(&reference, &tx);
+        assert_eq!(rx[0][0], 0);
+    }
+
+    #[test]
+    fn global_phase_flip_cancels_out() {
+        // If the channel inverts *all* symbols from some point on (a static
+        // phase error), differential decoding is unaffected across the
+        // affected boundary pairs except the single transition symbol.
+        let reference = vec![0, 0, 0, 0];
+        let bits: Vec<Vec<Option<u8>>> =
+            (0..4).map(|i| (0..4).map(|k| Some(((i + k) % 2) as u8)).collect()).collect();
+        let tx = encode(&reference, &bits);
+        // invert symbols 2..4 (as a channel phase flip would)
+        let mut corrupted = tx.clone();
+        for sym in corrupted.iter_mut().skip(2) {
+            for b in sym.iter_mut() {
+                *b ^= 1;
+            }
+        }
+        let rx = decode(&reference, &corrupted);
+        // symbol 2 (the transition) is corrupted; symbols 0,1,3 decode fine
+        for (i, (got, want)) in rx.iter().zip(&bits).enumerate() {
+            let want_bits: Vec<u8> = want.iter().map(|b| b.unwrap()).collect();
+            if i == 2 {
+                assert_ne!(*got, want_bits, "transition symbol takes the hit");
+            } else {
+                assert_eq!(*got, want_bits, "symbol {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn soft_metric_signs() {
+        // same phase -> positive (bit 0); opposite phase -> negative (bit 1)
+        assert!(soft_metric(1.0, 0.2, 0.9, 0.3) > 0.0);
+        assert!(soft_metric(1.0, 0.2, -0.9, -0.1) < 0.0);
+        // rotation by 90° is ambiguous -> near zero
+        assert!(soft_metric(1.0, 0.0, 0.0, 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+//! The paper's subcarrier interleaver (§2.3.1, "Interleaving bits").
+//!
+//! Bit errors cluster on one or two adjacent subcarriers (a notch), so
+//! consecutive coded bits are spread across the selected band: a symbol is
+//! filled completely before moving to the next (rule 1), and within a
+//! symbol, after placing a bit the writer skips ahead by a step of one third
+//! of the selected bin count (rule 2). With fewer than three bins the
+//! interleaver degenerates to the identity, as in the paper.
+
+/// Computes the within-symbol placement order for `l` selected bins:
+/// `order[j]` is the bin offset (0-based within the band) that receives the
+/// j-th bit of the symbol. The order is a permutation of `0..l`.
+pub fn symbol_order(l: usize) -> Vec<usize> {
+    if l < 3 {
+        return (0..l).collect();
+    }
+    let step = l / 3; // "one-third of the selected bins"
+    // Visit bins in strides of `step`, starting each pass one bin later.
+    // This is a (3+r)-column block interleaver that always yields a
+    // permutation regardless of gcd(step, l).
+    let mut order = Vec::with_capacity(l);
+    let mut used = vec![false; l];
+    let mut start = 0;
+    while order.len() < l {
+        let mut pos = start;
+        while pos < l {
+            if !used[pos] {
+                used[pos] = true;
+                order.push(pos);
+            }
+            pos += step;
+        }
+        start += 1;
+    }
+    order
+}
+
+/// Interleaves coded bits into per-symbol bin loads.
+///
+/// `bits` are distributed over symbols of `l` bins each, filling one symbol
+/// fully before the next. Returns one `Vec<u8>` per OFDM symbol; the last
+/// symbol may be partially filled (missing bins are simply not assigned and
+/// the caller zeroes them).
+pub fn interleave(bits: &[u8], l: usize) -> Vec<Vec<Option<u8>>> {
+    assert!(l > 0);
+    let order = symbol_order(l);
+    let mut symbols = Vec::new();
+    for chunk in bits.chunks(l) {
+        let mut sym: Vec<Option<u8>> = vec![None; l];
+        for (j, &b) in chunk.iter().enumerate() {
+            sym[order[j]] = Some(b);
+        }
+        symbols.push(sym);
+    }
+    symbols
+}
+
+/// Inverse of [`interleave`]: reads per-symbol bin values back into the
+/// original coded-bit order. `total_bits` trims the trailing unused slots of
+/// the final symbol.
+pub fn deinterleave(symbols: &[Vec<u8>], l: usize, total_bits: usize) -> Vec<u8> {
+    let order = symbol_order(l);
+    let mut bits = Vec::with_capacity(total_bits);
+    'outer: for sym in symbols {
+        assert_eq!(sym.len(), l);
+        for &slot in order.iter() {
+            if bits.len() == total_bits {
+                break 'outer;
+            }
+            bits.push(sym[slot]);
+        }
+    }
+    bits
+}
+
+/// Like [`deinterleave`] but for soft values.
+pub fn deinterleave_soft(symbols: &[Vec<f64>], l: usize, total_bits: usize) -> Vec<f64> {
+    let order = symbol_order(l);
+    let mut bits = Vec::with_capacity(total_bits);
+    'outer: for sym in symbols {
+        assert_eq!(sym.len(), l);
+        for &slot in order.iter() {
+            if bits.len() == total_bits {
+                break 'outer;
+            }
+            bits.push(sym[slot]);
+        }
+    }
+    bits
+}
+
+/// Number of OFDM symbols needed to carry `bits` coded bits over `l` bins.
+pub fn symbols_needed(bits: usize, l: usize) -> usize {
+    bits.div_ceil(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_permutation_for_all_band_sizes() {
+        for l in 1..=60 {
+            let order = symbol_order(l);
+            let mut seen = vec![false; l];
+            for &o in &order {
+                assert!(!seen[o], "duplicate bin {o} for l={l}");
+                seen[o] = true;
+            }
+            assert_eq!(order.len(), l);
+        }
+    }
+
+    #[test]
+    fn small_bands_use_identity() {
+        assert_eq!(symbol_order(1), vec![0]);
+        assert_eq!(symbol_order(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn step_is_one_third_of_band() {
+        let order = symbol_order(9);
+        // first pass: 0, 3, 6; second: 1, 4, 7; third: 2, 5, 8
+        assert_eq!(order, vec![0, 3, 6, 1, 4, 7, 2, 5, 8]);
+    }
+
+    #[test]
+    fn consecutive_bits_are_separated() {
+        for l in [6usize, 10, 19, 30, 60] {
+            let order = symbol_order(l);
+            let step = l / 3;
+            // any two consecutive coded bits within a pass sit >= step bins apart
+            for w in order.windows(2) {
+                let dist = w[0].abs_diff(w[1]);
+                assert!(
+                    dist >= step.min(2),
+                    "l={l}: adjacent bits on bins {} and {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interleave_roundtrip() {
+        for l in [1usize, 2, 3, 7, 19, 60] {
+            for n in [1usize, 5, 24, 100] {
+                let bits: Vec<u8> = (0..n).map(|i| ((i * 7 + 3) % 2) as u8).collect();
+                let symbols = interleave(&bits, l);
+                let dense: Vec<Vec<u8>> = symbols
+                    .iter()
+                    .map(|s| s.iter().map(|b| b.unwrap_or(0)).collect())
+                    .collect();
+                let back = deinterleave(&dense, l, n);
+                assert_eq!(back, bits, "l={l} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_bin_burst_is_dispersed() {
+        // Kill two adjacent bins in every symbol; after deinterleaving the
+        // erased coded-bit positions must not be adjacent (for l >= 6).
+        let l = 12;
+        let n = 24;
+        let bits: Vec<u8> = vec![0; n];
+        let symbols = interleave(&bits, l);
+        let mut erased_positions = Vec::new();
+        let order = symbol_order(l);
+        for (s, _) in symbols.iter().enumerate() {
+            for bin in [4usize, 5] {
+                // which coded-bit index mapped to this bin?
+                if let Some(j) = order.iter().position(|&o| o == bin) {
+                    let idx = s * l + j;
+                    if idx < n {
+                        erased_positions.push(idx);
+                    }
+                }
+            }
+        }
+        erased_positions.sort_unstable();
+        for w in erased_positions.windows(2) {
+            assert!(w[1] - w[0] > 1, "burst not dispersed: {:?}", erased_positions);
+        }
+    }
+
+    #[test]
+    fn symbols_needed_rounds_up() {
+        assert_eq!(symbols_needed(24, 60), 1);
+        assert_eq!(symbols_needed(24, 10), 3);
+        assert_eq!(symbols_needed(25, 12), 3);
+    }
+}

@@ -1,0 +1,28 @@
+//! # aqua-coding
+//!
+//! Channel coding for the AquaModem underwater acoustic modem:
+//!
+//! - [`conv`]: the paper's rate-2/3 convolutional code (K=7 mother code
+//!   (133,171)₈ with `[[1,1],[1,0]]` puncturing; 16 data bits → 24 coded
+//!   bits, truncated trellis).
+//! - [`viterbi`]: hard- and soft-decision Viterbi decoding with puncture
+//!   handling.
+//! - [`interleave`]: the paper's "step = one third of the selected bins"
+//!   subcarrier interleaver.
+//! - [`differential`]: XOR differential coding across consecutive OFDM
+//!   symbols (mobility resilience).
+//! - [`crc`]: CRC-8/16 integrity checks for app-layer packets.
+//! - [`bits`]: bit/byte packing utilities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod conv;
+pub mod crc;
+pub mod differential;
+pub mod interleave;
+pub mod viterbi;
+
+pub use conv::{encode as conv_encode, Rate};
+pub use viterbi::{decode_hard, decode_soft};

@@ -1,0 +1,215 @@
+//! Node-level API: an audio-backend abstraction and a messaging facade.
+//!
+//! [`AudioBackend`] is the integration point a real phone port (cpal /
+//! AAudio) would implement; [`SimAudioBus`] implements it over the
+//! channel simulator's shared [`Medium`]. [`Messenger`] packages the
+//! trial-level protocol into "send hand signals from A to B" calls for the
+//! examples and app-level tests.
+
+use crate::trial::{run_trial, Scheme, TrialConfig, TrialResult};
+use aqua_channel::device::Device;
+use aqua_channel::environments::Environment;
+use aqua_channel::geometry::Pos;
+use aqua_channel::medium::{Medium, NodeId};
+use aqua_channel::mobility::Trajectory;
+use aqua_proto::messages::Message;
+use aqua_proto::packet::MessagePacket;
+
+/// Duplex audio I/O as a phone app sees it: a speaker to feed and a
+/// microphone to drain, sharing one sample clock.
+pub trait AudioBackend {
+    /// Sample rate in Hz.
+    fn sample_rate(&self) -> f64;
+    /// Current position of the sample clock.
+    fn now(&self) -> u64;
+    /// Queues samples for playback at the current clock position and
+    /// advances the clock past them.
+    fn play(&mut self, samples: &[f64]);
+    /// Records `n` samples starting at the current clock position and
+    /// advances the clock past them.
+    fn record(&mut self, n: usize) -> Vec<f64>;
+    /// Advances the clock without playing or recording (silence).
+    fn sleep(&mut self, n: usize);
+}
+
+/// [`AudioBackend`] over the simulated shared medium: what a phone in the
+/// water "hears" and "says".
+pub struct SimAudioBus<'m> {
+    medium: &'m mut Medium,
+    node: NodeId,
+    clock: u64,
+}
+
+impl<'m> SimAudioBus<'m> {
+    /// Wraps a node of the medium.
+    pub fn new(medium: &'m mut Medium, node: NodeId) -> Self {
+        Self {
+            medium,
+            node,
+            clock: 0,
+        }
+    }
+}
+
+impl AudioBackend for SimAudioBus<'_> {
+    fn sample_rate(&self) -> f64 {
+        self.medium.sample_rate()
+    }
+
+    fn now(&self) -> u64 {
+        self.clock
+    }
+
+    fn play(&mut self, samples: &[f64]) {
+        self.medium.transmit(self.node, self.clock, samples);
+        self.clock += samples.len() as u64;
+    }
+
+    fn record(&mut self, n: usize) -> Vec<f64> {
+        let out = self.medium.capture(self.node, self.clock, n);
+        self.clock += n as u64;
+        out
+    }
+
+    fn sleep(&mut self, n: usize) {
+        self.clock += n as u64;
+    }
+}
+
+/// Outcome of a messaging attempt.
+#[derive(Debug, Clone)]
+pub struct SendOutcome {
+    /// The raw trial measurements.
+    pub trial: TrialResult,
+    /// The messages the receiver decoded, resolved against the codebook.
+    pub received: Vec<Message>,
+}
+
+/// App-level facade: sends hand-signal packets between two positioned
+/// devices in an environment, running the full adaptive protocol.
+pub struct Messenger {
+    env: Environment,
+    seed: u64,
+}
+
+impl Messenger {
+    /// Creates a messenger for an environment.
+    pub fn new(env: Environment, seed: u64) -> Self {
+        Self { env, seed }
+    }
+
+    /// Sends a message packet from `alice` to `bob` (device positions).
+    /// Each call is one packet exchange; the seed advances so repeated
+    /// sends see fresh noise.
+    pub fn send(
+        &mut self,
+        alice: Pos,
+        bob: Pos,
+        packet: MessagePacket,
+    ) -> SendOutcome {
+        self.send_with(alice, bob, packet, Scheme::Adaptive, None, None)
+    }
+
+    /// Full-control variant used by examples: optional scheme override and
+    /// trajectories.
+    pub fn send_with(
+        &mut self,
+        alice: Pos,
+        bob: Pos,
+        packet: MessagePacket,
+        scheme: Scheme,
+        alice_traj: Option<Trajectory>,
+        bob_traj: Option<Trajectory>,
+    ) -> SendOutcome {
+        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut cfg = TrialConfig::standard(self.env.clone(), alice, bob, self.seed);
+        cfg.payload = packet.to_bits();
+        cfg.scheme = scheme;
+        if let Some(t) = alice_traj {
+            cfg.alice_traj = t;
+        }
+        if let Some(t) = bob_traj {
+            cfg.bob_traj = t;
+        }
+        let trial = run_trial(&cfg);
+        let received = trial
+            .bits
+            .as_deref()
+            .and_then(MessagePacket::from_bits)
+            .map(|p| {
+                let mut msgs = Vec::new();
+                if let Some(m) = aqua_proto::messages::by_id(p.first) {
+                    msgs.push(m);
+                }
+                if let Some(second) = p.second {
+                    if let Some(m) = aqua_proto::messages::by_id(second) {
+                        msgs.push(m);
+                    }
+                }
+                msgs
+            })
+            .unwrap_or_default();
+        SendOutcome { trial, received }
+    }
+
+    /// The devices used by trials (for display purposes).
+    pub fn device_pair(&self) -> (Device, Device) {
+        (
+            Device::default_rig(self.seed.wrapping_mul(3) | 1),
+            Device::default_rig(self.seed.wrapping_mul(7) | 2),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_channel::environments::Site;
+    use aqua_dsp::chirp::tone;
+
+    #[test]
+    fn sim_audio_bus_carries_sound_between_nodes() {
+        let mut medium = Medium::new(Environment::preset(Site::Bridge), 48000.0, 5);
+        let a = medium.add_node(
+            Device::default_rig(1),
+            Trajectory::fixed(Pos::new(0.0, 0.0, 1.0)),
+        );
+        let b = medium.add_node(
+            Device::default_rig(2),
+            Trajectory::fixed(Pos::new(5.0, 0.0, 1.0)),
+        );
+        let sig = tone(2000.0, 4800, 48000.0);
+        {
+            let mut bus_a = SimAudioBus::new(&mut medium, a);
+            bus_a.play(&sig);
+        }
+        let mut bus_b = SimAudioBus::new(&mut medium, b);
+        let rx = bus_b.record(6000);
+        let p_on = aqua_dsp::goertzel::goertzel_power(&rx[500..5500], 2000.0, 48000.0);
+        let p_off = aqua_dsp::goertzel::goertzel_power(&rx[500..5500], 3200.0, 48000.0);
+        assert!(p_on > 5.0 * p_off, "tone not heard: {p_on} vs {p_off}");
+        assert_eq!(bus_b.now(), 6000);
+    }
+
+    #[test]
+    fn messenger_delivers_two_hand_signals() {
+        let mut m = Messenger::new(Environment::preset(Site::Bridge), 9);
+        let packet = MessagePacket::pair(3, 77);
+        let out = m.send(Pos::new(0.0, 0.0, 1.0), Pos::new(5.0, 0.0, 1.0), packet);
+        assert!(out.trial.packet_ok, "delivery failed");
+        assert_eq!(out.received.len(), 2);
+        assert_eq!(out.received[0].id, 3);
+        assert_eq!(out.received[1].id, 77);
+    }
+
+    #[test]
+    fn messenger_seeds_advance_between_sends() {
+        let mut m = Messenger::new(Environment::preset(Site::Bridge), 1);
+        let p = MessagePacket::single(0);
+        let a = m.send(Pos::new(0.0, 0.0, 1.0), Pos::new(5.0, 0.0, 1.0), p);
+        let b = m.send(Pos::new(0.0, 0.0, 1.0), Pos::new(5.0, 0.0, 1.0), p);
+        // both should deliver; the channel/noise realizations differ but we
+        // can at least assert both ran the full pipeline
+        assert!(a.trial.preamble_detected && b.trial.preamble_detected);
+    }
+}

@@ -1,0 +1,348 @@
+//! Streaming receiver: the continuously-listening state machine a phone
+//! runs (§3: "preamble detection running continuously in real-time").
+//!
+//! Audio arrives in blocks from the [`crate::node::AudioBackend`]; the
+//! receiver buffers enough history to detect a preamble anywhere in the
+//! stream, then walks the §2.2 sequence: verify the receiver ID, estimate
+//! SNR, select the band, emit the feedback waveform for the app to play,
+//! and finally locate and decode the data section — emitting events at
+//! each stage.
+
+use aqua_coding::bits::bits_to_value;
+use aqua_dsp::fir::{design_bandpass, StreamingFir};
+use aqua_dsp::window::Window;
+use aqua_phy::bandselect::{best_single_bin, select_band, Band, BandSelectConfig};
+use aqua_phy::chanest::estimate;
+use aqua_phy::feedback::{decode_tone, encode_feedback};
+use aqua_phy::frame::{locate_training, FrameConfig};
+use aqua_phy::ofdm::{demodulate_data, DecodeOptions};
+use aqua_phy::preamble::{detect, DetectorConfig, Preamble};
+
+/// Events emitted by the streaming receiver as a packet progresses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RxEvent {
+    /// A preamble was detected (sliding-correlation metric attached).
+    PreambleDetected {
+        /// Detection metric (≈1 clean, ≥ accept threshold).
+        metric: f64,
+    },
+    /// The header's ID symbol addressed someone else; the receiver went
+    /// back to scanning.
+    NotForUs {
+        /// The ID that was decoded from the header.
+        addressed: usize,
+    },
+    /// Band selected; the attached waveform is the feedback symbol the
+    /// app must transmit now.
+    FeedbackReady {
+        /// The selected band.
+        band: Band,
+        /// Feedback symbol samples to play.
+        waveform: Vec<f64>,
+    },
+    /// A packet decoded successfully.
+    Packet {
+        /// Payload bits.
+        bits: Vec<u8>,
+        /// Payload reinterpreted as a 16-bit value (two message IDs).
+        value: u64,
+    },
+    /// The data section never arrived or failed to decode.
+    DataLost,
+}
+
+enum State {
+    Scanning,
+    /// Waiting for the data section; `data_due` is the stream index where
+    /// the training symbol is expected.
+    AwaitingData {
+        band: Band,
+        data_due: usize,
+        deadline: usize,
+    },
+}
+
+/// Continuously-listening receiver. Feed audio blocks with
+/// [`StreamingReceiver::push`]; collect events from the return value.
+pub struct StreamingReceiver {
+    frame: FrameConfig,
+    preamble: Preamble,
+    my_id: u8,
+    detector: DetectorConfig,
+    band_cfg: BandSelectConfig,
+    decode: DecodeOptions,
+    /// Bandpassed stream history.
+    buffer: Vec<f64>,
+    /// Absolute stream index of `buffer[0]`.
+    buffer_start: usize,
+    front_end: StreamingFir,
+    state: State,
+    /// Index up to which scanning has already been performed.
+    scanned_to: usize,
+}
+
+impl StreamingReceiver {
+    /// Creates a receiver listening for packets addressed to `my_id`.
+    pub fn new(frame: FrameConfig, my_id: u8) -> Self {
+        let params = frame.params;
+        let taps = design_bandpass(129, 850.0, 4150.0, params.fs, Window::Hamming);
+        Self {
+            frame,
+            preamble: Preamble::new(params),
+            my_id,
+            detector: DetectorConfig::default(),
+            band_cfg: BandSelectConfig::default(),
+            decode: DecodeOptions {
+                bandpass: false, // the streaming front end already filters
+                ..DecodeOptions::default()
+            },
+            buffer: Vec::new(),
+            buffer_start: 0,
+            front_end: StreamingFir::new(taps),
+            state: State::Scanning,
+            scanned_to: 0,
+        }
+    }
+
+    /// Feeds one audio block; returns any events it produced.
+    pub fn push(&mut self, block: &[f64]) -> Vec<RxEvent> {
+        let filtered = self.front_end.process(block);
+        self.buffer.extend(filtered);
+        let mut events = Vec::new();
+        loop {
+            let before = events.len();
+            self.step(&mut events);
+            if events.len() == before {
+                break;
+            }
+        }
+        self.trim();
+        events
+    }
+
+    fn step(&mut self, events: &mut Vec<RxEvent>) {
+        match &self.state {
+            State::Scanning => {
+                // scan only once per stream region
+                let params = self.frame.params;
+                let window_start = self.scanned_to.max(self.buffer_start) - self.buffer_start;
+                if self.buffer.len() < window_start + self.preamble.len() + params.symbol_len() {
+                    return;
+                }
+                let window = &self.buffer[window_start..];
+                let Some(det) = detect(window, &self.preamble, &self.detector) else {
+                    // nothing here; mark the region scanned, keeping one
+                    // preamble length of overlap for boundary-straddling
+                    // preambles
+                    self.scanned_to = self.buffer_start + self.buffer.len()
+                        - self.preamble.len().min(self.buffer.len());
+                    return;
+                };
+                let offset = window_start + det.offset;
+                // need the full header (preamble + ID symbol) in buffer
+                if self.buffer.len() < offset + self.preamble.len() + params.symbol_len() {
+                    return;
+                }
+                events.push(RxEvent::PreambleDetected { metric: det.metric });
+                let id_start = offset + self.preamble.len();
+                let id_window = &self.buffer[id_start..id_start + params.symbol_len()];
+                let addressed = decode_tone(&params, id_window, 0.2).map(|(bin, _)| bin);
+                if addressed != Some(self.my_id as usize) {
+                    events.push(RxEvent::NotForUs {
+                        addressed: addressed.unwrap_or(usize::MAX),
+                    });
+                    self.scanned_to = self.buffer_start + id_start;
+                    return;
+                }
+                let est = estimate(&params, &self.preamble, &self.buffer[offset..]);
+                let Some(band) =
+                    select_band(&est.snr_db, &self.band_cfg).or_else(|| best_single_bin(&est.snr_db))
+                else {
+                    self.scanned_to = self.buffer_start + id_start;
+                    return;
+                };
+                let waveform = encode_feedback(&params, band);
+                events.push(RxEvent::FeedbackReady { band, waveform });
+                let data_due = self.buffer_start + offset + self.frame.data_start_offset();
+                self.state = State::AwaitingData {
+                    band,
+                    data_due,
+                    deadline: data_due + 8 * params.symbol_len(),
+                };
+                self.scanned_to = self.buffer_start + id_start;
+            }
+            State::AwaitingData {
+                band,
+                data_due,
+                deadline,
+            } => {
+                let params = self.frame.params;
+                let band = *band;
+                let needed =
+                    aqua_phy::ofdm::data_section_len(&params, band, self.frame.payload_bits);
+                let stream_end = self.buffer_start + self.buffer.len();
+                let search = 2 * params.cp;
+                if stream_end < data_due + needed + search {
+                    if stream_end > deadline + needed {
+                        events.push(RxEvent::DataLost);
+                        self.state = State::Scanning;
+                    }
+                    return;
+                }
+                let expected = data_due - self.buffer_start;
+                let found = locate_training(&params, &self.buffer, expected, search, 0.2);
+                match found {
+                    Some(at) if self.buffer.len() >= at + needed => {
+                        let decoded = demodulate_data(
+                            &params,
+                            band,
+                            &self.buffer[at..],
+                            self.frame.payload_bits,
+                            &self.decode,
+                        );
+                        let value = bits_to_value(&decoded.bits);
+                        events.push(RxEvent::Packet {
+                            bits: decoded.bits,
+                            value,
+                        });
+                        self.scanned_to = self.buffer_start + at + needed;
+                        self.state = State::Scanning;
+                    }
+                    _ => {
+                        events.push(RxEvent::DataLost);
+                        self.state = State::Scanning;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops history the state machine can no longer need.
+    fn trim(&mut self) {
+        let keep_from = match &self.state {
+            State::Scanning => {
+                let margin = 2 * self.preamble.len() + 4 * self.frame.params.symbol_len();
+                (self.scanned_to.max(self.buffer_start)).saturating_sub(margin)
+            }
+            State::AwaitingData { data_due, .. } => {
+                data_due.saturating_sub(4 * self.frame.params.cp)
+            }
+        };
+        if keep_from > self.buffer_start {
+            let drop = (keep_from - self.buffer_start).min(self.buffer.len());
+            self.buffer.drain(..drop);
+            self.buffer_start += drop;
+        }
+    }
+
+    /// Bytes of buffered history (diagnostic; bounded by `trim`).
+    pub fn buffered_samples(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_phy::frame::build_header;
+    use aqua_phy::ofdm::modulate_data;
+
+    fn make_stream(frame: &FrameConfig, id: u8, payload: &[u8], band: Band) -> Vec<f64> {
+        let preamble = Preamble::new(frame.params);
+        let mut stream = vec![0.0; 5000];
+        stream.extend(build_header(frame, &preamble, id));
+        // silence until the data slot on the sender's symbol clock
+        stream.resize(5000 + frame.data_start_offset(), 0.0);
+        stream.extend(modulate_data(&frame.params, band, payload));
+        stream.extend(vec![0.0; 20000]);
+        stream
+    }
+
+    #[test]
+    fn receives_a_packet_from_a_block_stream() {
+        let frame = FrameConfig::default();
+        let payload: Vec<u8> = (0..16).map(|i| (i % 2) as u8).collect();
+        // NOTE: the receiver will select its own band from the clean
+        // channel (full band); transmit on the full band to match.
+        let band = Band::new(0, 59);
+        let stream = make_stream(&frame, 9, &payload, band);
+        let mut rx = StreamingReceiver::new(frame, 9);
+        let mut events = Vec::new();
+        for block in stream.chunks(480) {
+            events.extend(rx.push(block));
+        }
+        assert!(
+            events.iter().any(|e| matches!(e, RxEvent::PreambleDetected { .. })),
+            "{events:?}"
+        );
+        assert!(events.iter().any(|e| matches!(e, RxEvent::FeedbackReady { .. })));
+        let packet = events.iter().find_map(|e| match e {
+            RxEvent::Packet { bits, .. } => Some(bits.clone()),
+            _ => None,
+        });
+        assert_eq!(packet, Some(payload));
+    }
+
+    #[test]
+    fn ignores_packets_for_other_receivers() {
+        let frame = FrameConfig::default();
+        let stream = make_stream(&frame, 12, &vec![1u8; 16], Band::new(0, 59));
+        let mut rx = StreamingReceiver::new(frame, 3); // listening as ID 3
+        let mut events = Vec::new();
+        for block in stream.chunks(1024) {
+            events.extend(rx.push(block));
+        }
+        assert!(events.iter().any(|e| matches!(e, RxEvent::NotForUs { addressed: 12 })));
+        assert!(!events.iter().any(|e| matches!(e, RxEvent::Packet { .. })));
+    }
+
+    #[test]
+    fn reports_data_lost_when_sender_goes_silent() {
+        let frame = FrameConfig::default();
+        let preamble = Preamble::new(frame.params);
+        let mut stream = vec![0.0; 3000];
+        stream.extend(build_header(&frame, &preamble, 5));
+        stream.extend(vec![0.0; frame.data_start_offset() + 40_000]); // no data follows
+        let mut rx = StreamingReceiver::new(frame, 5);
+        let mut events = Vec::new();
+        for block in stream.chunks(480) {
+            events.extend(rx.push(block));
+        }
+        assert!(events.iter().any(|e| matches!(e, RxEvent::FeedbackReady { .. })));
+        assert!(events.iter().any(|e| matches!(e, RxEvent::DataLost)));
+    }
+
+    #[test]
+    fn buffer_stays_bounded_during_long_silence() {
+        let frame = FrameConfig::default();
+        let mut rx = StreamingReceiver::new(frame, 1);
+        for _ in 0..200 {
+            rx.push(&vec![0.0; 4800]); // 20 s of silence
+        }
+        assert!(
+            rx.buffered_samples() < 100_000,
+            "buffer grew to {}",
+            rx.buffered_samples()
+        );
+    }
+
+    #[test]
+    fn two_packets_back_to_back_both_decode() {
+        let frame = FrameConfig::default();
+        let p1: Vec<u8> = (0..16).map(|i| (i % 2) as u8).collect();
+        let p2: Vec<u8> = (0..16).map(|i| ((i / 2) % 2) as u8).collect();
+        let band = Band::new(0, 59);
+        let mut stream = make_stream(&frame, 7, &p1, band);
+        stream.extend(make_stream(&frame, 7, &p2, band));
+        let mut rx = StreamingReceiver::new(frame, 7);
+        let mut packets = Vec::new();
+        for block in stream.chunks(960) {
+            for e in rx.push(block) {
+                if let RxEvent::Packet { bits, .. } = e {
+                    packets.push(bits);
+                }
+            }
+        }
+        assert_eq!(packets, vec![p1, p2]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Edge-case behaviour of the packet-exchange protocol.
+
+use aqua_channel::environments::{Environment, Site};
+use aqua_channel::geometry::Pos;
+use aqua_phy::bandselect::Band;
+use aqua_phy::frame::FrameConfig;
+use aqua_phy::params::OfdmParams;
+use aquapp::trial::{run_trial, Scheme, TrialConfig};
+
+fn cfg(site: Site, dist: f64, seed: u64) -> TrialConfig {
+    TrialConfig::standard(
+        Environment::preset(site),
+        Pos::new(0.0, 0.0, 1.0),
+        Pos::new(dist, 0.0, 1.0),
+        seed,
+    )
+}
+
+#[test]
+fn hopeless_distance_fails_cleanly() {
+    // 300 m in the noisy lake: no detection, and the result reflects a
+    // clean failure rather than garbage.
+    let r = run_trial(&cfg(Site::Lake, 300.0, 1));
+    assert!(!r.preamble_detected);
+    assert!(!r.packet_ok);
+    assert!(r.bits.is_none());
+    assert_eq!(r.coded_bitrate_bps, 0.0);
+    assert!((r.coded_ber - 0.5).abs() < 1e-9, "failed packets count as coin-flip BER");
+}
+
+#[test]
+fn fixed_scheme_skips_feedback_but_still_delivers() {
+    let mut c = cfg(Site::Bridge, 5.0, 2);
+    c.scheme = Scheme::Fixed(Band::new(0, 29));
+    let r = run_trial(&c);
+    assert!(r.preamble_detected);
+    assert!(r.feedback_ok, "fixed schemes report feedback trivially OK");
+    assert_eq!(r.band, Some(Band::new(0, 29)));
+    assert!(r.packet_ok, "1-2.5 kHz fixed at 5 m bridge should decode");
+    assert!((r.coded_bitrate_bps - 1000.0).abs() < 1.0, "30 bins = 1000 bps");
+}
+
+#[test]
+fn stale_band_scheme_uses_the_given_band() {
+    let mut c = cfg(Site::Bridge, 5.0, 3);
+    let stale = Band::new(40, 50);
+    c.scheme = Scheme::Stale(stale);
+    let r = run_trial(&c);
+    assert_eq!(r.band, Some(stale));
+}
+
+#[test]
+fn single_bin_band_transmits_at_minimum_rate() {
+    let mut c = cfg(Site::Bridge, 5.0, 4);
+    c.scheme = Scheme::Fixed(Band::new(30, 30));
+    let r = run_trial(&c);
+    assert!((r.coded_bitrate_bps - 33.333).abs() < 0.01);
+    assert!(r.packet_ok, "single-bin fallback must still deliver");
+}
+
+#[test]
+fn wider_gap_still_aligns_data() {
+    // A slower processing budget (longer silent gap) must not break the
+    // symbol-clock alignment of the data section.
+    let mut c = cfg(Site::Bridge, 5.0, 5);
+    c.frame = FrameConfig {
+        gap_symbols: 12,
+        ..FrameConfig::default()
+    };
+    let r = run_trial(&c);
+    assert!(r.packet_ok, "12-symbol gap: coded BER {}", r.coded_ber);
+}
+
+#[test]
+fn alternate_numerology_runs_end_to_end() {
+    // 25 Hz spacing changes every layout constant; the whole exchange must
+    // still work.
+    let mut c = cfg(Site::Bridge, 5.0, 6);
+    c.frame = FrameConfig {
+        params: OfdmParams::spacing_25hz(),
+        ..FrameConfig::default()
+    };
+    let r = run_trial(&c);
+    assert!(r.preamble_detected, "25 Hz preamble");
+    assert!(r.packet_ok, "25 Hz decode: coded BER {}", r.coded_ber);
+}
+
+#[test]
+fn all_zero_and_all_one_payloads_roundtrip() {
+    for (seed, payload) in [(7u64, vec![0u8; 16]), (8, vec![1u8; 16])] {
+        let mut c = cfg(Site::Bridge, 5.0, seed);
+        c.payload = payload.clone();
+        let r = run_trial(&c);
+        assert_eq!(r.bits, Some(payload), "degenerate payload");
+    }
+}
+
+#[test]
+fn different_device_ids_are_respected() {
+    for id in [0u8, 30, 59] {
+        let mut c = cfg(Site::Bridge, 5.0, 10 + id as u64);
+        c.bob_id = id;
+        let r = run_trial(&c);
+        assert!(r.id_ok, "ID {id} must decode");
+    }
+}

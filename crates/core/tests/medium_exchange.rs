@@ -1,0 +1,91 @@
+//! Full protocol exchange over the shared medium — the closest test to the
+//! real app: both directions travel the same water, Bob runs the
+//! continuously-listening streaming receiver, and his feedback waveform is
+//! actually *played* into the medium for Alice to decode.
+
+use aqua_channel::device::Device;
+use aqua_channel::environments::{Environment, Site};
+use aqua_channel::geometry::Pos;
+use aqua_channel::medium::Medium;
+use aqua_channel::mobility::Trajectory;
+use aqua_phy::feedback::{decode_feedback_whitened, noise_bin_power};
+use aqua_phy::frame::{build_header, FrameConfig};
+use aqua_phy::ofdm::modulate_data;
+use aqua_phy::preamble::Preamble;
+use aquapp::receiver::{RxEvent, StreamingReceiver};
+
+const FS: f64 = 48_000.0;
+const BLOCK: usize = 960; // 20 ms audio callback
+
+#[test]
+fn two_way_exchange_over_shared_water() {
+    let frame = FrameConfig::default();
+    let params = frame.params;
+    let preamble = Preamble::new(params);
+    let payload: Vec<u8> = (0..16).map(|i| ((i * 5 + 1) % 2) as u8).collect();
+
+    let mut medium = Medium::new(Environment::preset(Site::Bridge), FS, 21);
+    let alice = medium.add_node(
+        Device::default_rig(1),
+        Trajectory::fixed(Pos::new(0.0, 0.0, 1.0)),
+    );
+    let bob = medium.add_node(
+        Device::default_rig(2),
+        Trajectory::fixed(Pos::new(6.0, 0.0, 1.0)),
+    );
+
+    // --- Alice transmits the header on her sample clock (t = 0.1 s) ---
+    let t0: u64 = 4_800;
+    let header = build_header(&frame, &preamble, 9);
+    medium.transmit(alice, t0, &header);
+
+    // --- Bob's streaming receiver chews the audio in 20 ms blocks ---
+    let mut rx = StreamingReceiver::new(frame, 9);
+    let mut bob_clock: u64 = 0;
+    let mut band = None;
+    // run Bob until he has produced the feedback waveform
+    while band.is_none() && bob_clock < t0 + 3 * header.len() as u64 {
+        let block = medium.capture(bob, bob_clock, BLOCK);
+        for event in rx.push(&block) {
+            if let RxEvent::FeedbackReady { band: b, waveform } = event {
+                // Bob plays the feedback immediately
+                medium.transmit(bob, bob_clock + BLOCK as u64, &waveform);
+                band = Some(b);
+            }
+        }
+        bob_clock += BLOCK as u64;
+    }
+    let bob_band = band.expect("Bob must reach the feedback stage");
+
+    // --- Alice decodes the feedback from the same shared water ---
+    // her noise calibration (recorded earlier, node-local ambient)
+    let ambient = medium.capture(alice, 1_000_000, 8 * params.n_fft);
+    let npp = noise_bin_power(&params, &ambient);
+    // she listens from the end of her header transmission onwards
+    let listen_from = t0 + header.len() as u64;
+    let fb_window = medium.capture(alice, listen_from, 48_000);
+    let decoded = decode_feedback_whitened(&params, &fb_window, 0.3, Some(&npp))
+        .expect("Alice must decode Bob's feedback");
+    assert_eq!(decoded.band, bob_band, "band survives the backward channel");
+
+    // --- Alice sends the data section at her fixed symbol-clock offset ---
+    let data = modulate_data(&params, decoded.band, &payload);
+    let data_at = t0 + frame.data_start_offset() as u64;
+    medium.transmit(alice, data_at, &data);
+
+    // --- Bob keeps listening and decodes the packet ---
+    let mut got = None;
+    let deadline = data_at + (data.len() + 60_000) as u64;
+    while got.is_none() && bob_clock < deadline {
+        let block = medium.capture(bob, bob_clock, BLOCK);
+        for event in rx.push(&block) {
+            match event {
+                RxEvent::Packet { bits, .. } => got = Some(bits),
+                RxEvent::DataLost => panic!("data section lost"),
+                _ => {}
+            }
+        }
+        bob_clock += BLOCK as u64;
+    }
+    assert_eq!(got, Some(payload), "payload through two-way shared water");
+}

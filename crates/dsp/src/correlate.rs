@@ -1,0 +1,193 @@
+//! Cross-correlation primitives used by preamble detection.
+//!
+//! Coarse packet detection cross-correlates the incoming stream against the
+//! known preamble (FFT-accelerated); the fine stage uses normalized
+//! segment-to-segment sliding correlation, implemented in `aqua-phy` on top
+//! of the primitives here.
+
+use crate::complex::{Complex, ZERO};
+use crate::fft::planner;
+
+/// Cross-correlation of `signal` with `template` ("valid" lags only):
+/// `out[i] = Σ_j signal[i+j]·template[j]` for `i` in
+/// `0..=signal.len()-template.len()`.
+///
+/// Returns an empty vector when the template is longer than the signal.
+pub fn xcorr_valid(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    if template.is_empty() || signal.len() < template.len() {
+        return Vec::new();
+    }
+    let out_len = signal.len() - template.len() + 1;
+    let mut out = vec![0.0; out_len];
+    for i in 0..out_len {
+        let mut acc = 0.0;
+        for (j, &t) in template.iter().enumerate() {
+            acc += signal[i + j] * t;
+        }
+        out[i] = acc;
+    }
+    out
+}
+
+/// FFT-accelerated version of [`xcorr_valid`]. Identical output, much faster
+/// for long signals/templates (correlation = convolution with the reversed
+/// template).
+pub fn xcorr_valid_fft(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    if template.is_empty() || signal.len() < template.len() {
+        return Vec::new();
+    }
+    let out_len = signal.len() - template.len() + 1;
+    let n = (signal.len() + template.len()).next_power_of_two();
+    let plan = planner(n);
+    let mut a: Vec<Complex> = signal.iter().map(|&v| Complex::real(v)).collect();
+    a.resize(n, ZERO);
+    let mut b: Vec<Complex> = template.iter().rev().map(|&v| Complex::real(v)).collect();
+    b.resize(n, ZERO);
+    plan.forward(&mut a);
+    plan.forward(&mut b);
+    for (p, q) in a.iter_mut().zip(&b) {
+        *p *= *q;
+    }
+    plan.inverse(&mut a);
+    // full-convolution index of valid lag i is i + template.len() - 1
+    (0..out_len).map(|i| a[i + template.len() - 1].re).collect()
+}
+
+/// Normalized cross-correlation: [`xcorr_valid_fft`] divided by the product
+/// of the template norm and the local signal norm over each window. Output
+/// values lie in [-1, 1] (up to rounding).
+pub fn xcorr_normalized(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    let raw = xcorr_valid_fft(signal, template);
+    if raw.is_empty() {
+        return raw;
+    }
+    let t_norm: f64 = template.iter().map(|v| v * v).sum::<f64>().sqrt();
+    // Sliding window energy via prefix sums.
+    let mut prefix = vec![0.0; signal.len() + 1];
+    for (i, &v) in signal.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + v * v;
+    }
+    let w = template.len();
+    raw.iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            let e = prefix[i + w] - prefix[i];
+            let denom = t_norm * e.sqrt();
+            if denom > 1e-30 {
+                r / denom
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Complex inner product `Σ a[i]·conj(b[i])` over the overlap of two slices.
+pub fn complex_inner(a: &[Complex], b: &[Complex]) -> Complex {
+    a.iter().zip(b).map(|(x, y)| *x * y.conj()).sum()
+}
+
+/// Real inner product over the overlap of two slices.
+pub fn inner(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Sliding-window energy (sum of squares over windows of length `w`),
+/// computed with prefix sums in O(n).
+pub fn sliding_energy(signal: &[f64], w: usize) -> Vec<f64> {
+    if w == 0 || signal.len() < w {
+        return Vec::new();
+    }
+    let mut prefix = vec![0.0; signal.len() + 1];
+    for (i, &v) in signal.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + v * v;
+    }
+    (0..=signal.len() - w).map(|i| prefix[i + w] - prefix[i]).collect()
+}
+
+/// Index of the maximum value; `None` on an empty slice. Ties resolve to the
+/// first occurrence.
+pub fn argmax(values: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_and_fft_xcorr_agree() {
+        let signal: Vec<f64> = (0..500).map(|i| ((i * 37) % 19) as f64 - 9.0).collect();
+        let template: Vec<f64> = (0..64).map(|i| ((i * 11) % 7) as f64 - 3.0).collect();
+        let a = xcorr_valid(&signal, &template);
+        let b = xcorr_valid_fft(&signal, &template);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn xcorr_peaks_at_embedded_template() {
+        let template: Vec<f64> = (0..128)
+            .map(|i| (2.0 * std::f64::consts::PI * 0.13 * i as f64).sin())
+            .collect();
+        let mut signal = vec![0.0; 1000];
+        let offset = 333;
+        for (j, &t) in template.iter().enumerate() {
+            signal[offset + j] = t;
+        }
+        let corr = xcorr_valid_fft(&signal, &template);
+        assert_eq!(argmax(&corr), Some(offset));
+    }
+
+    #[test]
+    fn normalized_xcorr_is_one_at_exact_match() {
+        let template: Vec<f64> = (0..64).map(|i| (i as f64 * 0.7).sin() + 0.1).collect();
+        let mut signal = vec![0.0; 300];
+        signal[100..164].copy_from_slice(&template);
+        // add a louder non-matching burst elsewhere
+        for i in 0..64 {
+            signal[200 + i] = 5.0 * ((i % 2) as f64 - 0.5);
+        }
+        let corr = xcorr_normalized(&signal, &template);
+        assert!((corr[100] - 1.0).abs() < 1e-9);
+        assert_eq!(argmax(&corr), Some(100), "normalization must beat the loud burst");
+    }
+
+    #[test]
+    fn normalized_xcorr_is_scale_invariant() {
+        let template: Vec<f64> = (0..32).map(|i| (i as f64 * 0.9).cos()).collect();
+        let mut signal = vec![0.0; 100];
+        for (j, &t) in template.iter().enumerate() {
+            signal[40 + j] = 0.001 * t; // 60 dB weaker than template
+        }
+        let corr = xcorr_normalized(&signal, &template);
+        assert!((corr[40] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_energy_matches_direct_sum() {
+        let signal: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let e = sliding_energy(&signal, 7);
+        for (i, &v) in e.iter().enumerate() {
+            let direct: f64 = signal[i..i + 7].iter().map(|x| x * x).sum();
+            assert!((v - direct).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_outputs() {
+        assert!(xcorr_valid(&[1.0], &[1.0, 2.0]).is_empty());
+        assert!(xcorr_valid_fft(&[], &[1.0]).is_empty());
+        assert!(sliding_energy(&[1.0, 2.0], 5).is_empty());
+        assert_eq!(argmax(&[]), None);
+    }
+}

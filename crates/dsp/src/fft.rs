@@ -1,0 +1,380 @@
+//! Mixed-radix FFT.
+//!
+//! The modem's OFDM symbol lengths are not powers of two: 960 samples at
+//! 50 Hz subcarrier spacing, 1920 at 25 Hz and 4800 at 10 Hz (all of the
+//! form 2^a·3^b·5^c). This module implements a recursive Cooley–Tukey
+//! decomposition over arbitrary prime factors with a Bluestein fallback for
+//! large prime sizes, so every length works and the common modem sizes stay
+//! fast.
+//!
+//! Conventions: [`Fft::forward`] computes the unnormalized DFT
+//! `X[k] = Σ x[n]·e^{-2πi kn/N}`; [`Fft::inverse`] applies the `1/N`
+//! normalization so `inverse(forward(x)) == x`.
+
+use crate::complex::{Complex, ZERO};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Largest prime factor handled directly by the mixed-radix butterflies.
+/// Above this we switch to Bluestein's algorithm.
+const MAX_DIRECT_PRIME: usize = 31;
+
+/// A planned FFT for a fixed size. Create via [`Fft::new`]; reuse for many
+/// transforms of the same length.
+pub struct Fft {
+    len: usize,
+    /// Prime factorization of `len`, smallest factors first.
+    factors: Vec<usize>,
+    /// Twiddle table: `twiddles[k] = e^{-2πi k / len}` for `k < len`.
+    twiddles: Vec<Complex>,
+    /// Bluestein state when `len` has a prime factor above `MAX_DIRECT_PRIME`.
+    bluestein: Option<Box<Bluestein>>,
+}
+
+struct Bluestein {
+    /// Power-of-two convolution length `M >= 2*len - 1`.
+    inner: Fft,
+    /// Chirp sequence `w[n] = e^{-iπ n²/len}`.
+    chirp: Vec<Complex>,
+    /// Pre-transformed chirp filter of length `M`.
+    filter_fd: Vec<Complex>,
+}
+
+impl Fft {
+    /// Plans an FFT of length `len`. Panics if `len == 0`.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "FFT length must be positive");
+        let factors = factorize(len);
+        let needs_bluestein = factors.iter().any(|&f| f > MAX_DIRECT_PRIME);
+        let twiddles = if needs_bluestein {
+            Vec::new()
+        } else {
+            (0..len)
+                .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / len as f64))
+                .collect()
+        };
+        let bluestein = needs_bluestein.then(|| Box::new(Bluestein::new(len)));
+        Self {
+            len,
+            factors,
+            twiddles,
+            bluestein,
+        }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true if the planned length is zero (never: length is >= 1).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Forward DFT (unnormalized). `data.len()` must equal the plan length.
+    pub fn forward(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.len, "FFT length mismatch");
+        if let Some(b) = &self.bluestein {
+            b.transform(data, self.len);
+            return;
+        }
+        let mut scratch = vec![ZERO; self.len];
+        self.recurse(data, &mut scratch, self.len, 1, 0);
+    }
+
+    /// Inverse DFT with `1/N` normalization.
+    pub fn inverse(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.len, "FFT length mismatch");
+        for c in data.iter_mut() {
+            *c = c.conj();
+        }
+        self.forward(data);
+        let scale = 1.0 / self.len as f64;
+        for c in data.iter_mut() {
+            *c = c.conj().scale(scale);
+        }
+    }
+
+    /// Recursive mixed-radix Cooley–Tukey step.
+    ///
+    /// Transforms `data[0..n]` in place. `stride` is the twiddle-table stride
+    /// (`self.len / n`), `depth` indexes into `self.factors`.
+    fn recurse(&self, data: &mut [Complex], scratch: &mut [Complex], n: usize, stride: usize, depth: usize) {
+        if n == 1 {
+            return;
+        }
+        let r = self.factors[depth];
+        let m = n / r;
+
+        // Decimation in time: split into r interleaved subsequences.
+        {
+            let (dst, _) = scratch.split_at_mut(n);
+            for l in 0..r {
+                for j in 0..m {
+                    dst[l * m + j] = data[j * r + l];
+                }
+            }
+            data[..n].copy_from_slice(dst);
+        }
+
+        // Recurse on each subsequence of length m.
+        for l in 0..r {
+            self.recurse(&mut data[l * m..(l + 1) * m], scratch, m, stride * r, depth + 1);
+        }
+
+        // Combine: X[q + m*s] = Σ_l tw(l*(q + m*s)) · Y_l[q].
+        {
+            let (dst, _) = scratch.split_at_mut(n);
+            for s in 0..r {
+                for q in 0..m {
+                    let k = q + m * s;
+                    let mut acc = ZERO;
+                    for l in 0..r {
+                        // twiddle index l*k*stride mod len
+                        let idx = (l * k * stride) % self.len;
+                        acc += self.twiddles[idx] * data[l * m + q];
+                    }
+                    dst[k] = acc;
+                }
+            }
+            data[..n].copy_from_slice(dst);
+        }
+    }
+}
+
+impl Bluestein {
+    fn new(len: usize) -> Self {
+        let conv_len = (2 * len - 1).next_power_of_two();
+        let inner = Fft::new(conv_len);
+        // w[n] = e^{-iπ n² / len}; indices mod 2·len keep n² manageable.
+        let chirp: Vec<Complex> = (0..len)
+            .map(|n| {
+                let idx = (n * n) % (2 * len);
+                Complex::cis(-std::f64::consts::PI * idx as f64 / len as f64)
+            })
+            .collect();
+        let mut filter = vec![ZERO; conv_len];
+        filter[0] = chirp[0].conj();
+        for n in 1..len {
+            filter[n] = chirp[n].conj();
+            filter[conv_len - n] = chirp[n].conj();
+        }
+        inner.forward(&mut filter);
+        Self {
+            inner,
+            chirp,
+            filter_fd: filter,
+        }
+    }
+
+    fn transform(&self, data: &mut [Complex], len: usize) {
+        let conv_len = self.inner.len();
+        let mut a = vec![ZERO; conv_len];
+        for n in 0..len {
+            a[n] = data[n] * self.chirp[n];
+        }
+        self.inner.forward(&mut a);
+        for (x, f) in a.iter_mut().zip(&self.filter_fd) {
+            *x *= *f;
+        }
+        self.inner.inverse(&mut a);
+        for k in 0..len {
+            data[k] = a[k] * self.chirp[k];
+        }
+    }
+}
+
+/// Returns the prime factorization of `n`, smallest factors first.
+pub fn factorize(mut n: usize) -> Vec<usize> {
+    let mut factors = Vec::new();
+    let mut p = 2;
+    while p * p <= n {
+        while n.is_multiple_of(p) {
+            factors.push(p);
+            n /= p;
+        }
+        p += if p == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+thread_local! {
+    static PLAN_CACHE: RefCell<HashMap<usize, Rc<Fft>>> = RefCell::new(HashMap::new());
+}
+
+/// Returns a cached FFT plan for `len` (plans are cached per thread).
+pub fn planner(len: usize) -> Rc<Fft> {
+    PLAN_CACHE.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry(len)
+            .or_insert_with(|| Rc::new(Fft::new(len)))
+            .clone()
+    })
+}
+
+/// Convenience: forward FFT of a real signal, returning the full complex
+/// spectrum of length `signal.len()`.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::real(x)).collect();
+    planner(signal.len()).forward(&mut buf);
+    buf
+}
+
+/// Convenience: forward FFT of a complex signal in place.
+pub fn fft_in_place(data: &mut [Complex]) {
+    planner(data.len()).forward(data);
+}
+
+/// Convenience: inverse FFT (normalized) of a complex signal in place.
+pub fn ifft_in_place(data: &mut [Complex]) {
+    planner(data.len()).inverse(data);
+}
+
+/// Inverse FFT returning only the real parts — used to synthesize real
+/// OFDM waveforms from Hermitian-symmetric spectra (or to take the real
+/// projection of an analytic synthesis).
+pub fn ifft_real(spectrum: &[Complex]) -> Vec<f64> {
+    let mut buf = spectrum.to_vec();
+    planner(buf.len()).inverse(&mut buf);
+    buf.into_iter().map(|c| c.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    acc += v * Complex::cis(-2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex> {
+        // Simple xorshift so the dsp crate stays dependency-free.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        (0..n).map(|_| Complex::new(next(), next())).collect()
+    }
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_naive_dft_for_mixed_radix_sizes() {
+        for &n in &[1usize, 2, 3, 4, 5, 6, 8, 12, 15, 20, 30, 60, 96, 960 / 8] {
+            let x = rand_signal(n, n as u64);
+            let mut y = x.clone();
+            Fft::new(n).forward(&mut y);
+            let want = naive_dft(&x);
+            assert!(max_err(&y, &want) < 1e-8 * n as f64, "size {n}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_for_prime_sizes_via_bluestein() {
+        for &n in &[37usize, 101, 241] {
+            let x = rand_signal(n, n as u64);
+            let mut y = x.clone();
+            Fft::new(n).forward(&mut y);
+            let want = naive_dft(&x);
+            assert!(max_err(&y, &want) < 1e-7 * n as f64, "size {n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_on_modem_sizes() {
+        for &n in &[960usize, 1920, 4800, 1027] {
+            let x = rand_signal(n, 7);
+            let mut y = x.clone();
+            let plan = Fft::new(n);
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            assert!(max_err(&x, &y) < 1e-9, "size {n}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 960;
+        let x = rand_signal(n, 3);
+        let mut y = x.clone();
+        Fft::new(n).forward(&mut y);
+        let et: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let ef: f64 = y.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((et - ef).abs() / et < 1e-10);
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let n = 60;
+        let mut x = vec![ZERO; n];
+        x[0] = Complex::real(1.0);
+        Fft::new(n).forward(&mut x);
+        for c in x {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 960;
+        let k0 = 25;
+        let x: Vec<Complex> = (0..n)
+            .map(|j| Complex::cis(2.0 * std::f64::consts::PI * (k0 * j) as f64 / n as f64))
+            .collect();
+        let mut y = x;
+        Fft::new(n).forward(&mut y);
+        for (k, c) in y.iter().enumerate() {
+            if k == k0 {
+                assert!((c.abs() - n as f64).abs() < 1e-6);
+            } else {
+                assert!(c.abs() < 1e-6, "leakage at bin {k}: {}", c.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn factorize_decomposes_into_primes() {
+        assert_eq!(factorize(960), vec![2, 2, 2, 2, 2, 2, 3, 5]);
+        assert_eq!(factorize(1), Vec::<usize>::new());
+        assert_eq!(factorize(97), vec![97]);
+    }
+
+    #[test]
+    fn planner_reuses_plans() {
+        let a = planner(960);
+        let b = planner(960);
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn fft_real_of_cosine_has_symmetric_peaks() {
+        let n = 480;
+        let k0 = 10;
+        let signal: Vec<f64> = (0..n)
+            .map(|j| (2.0 * std::f64::consts::PI * (k0 * j) as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&signal);
+        assert!((spec[k0].abs() - n as f64 / 2.0).abs() < 1e-6);
+        assert!((spec[n - k0].abs() - n as f64 / 2.0).abs() < 1e-6);
+    }
+}

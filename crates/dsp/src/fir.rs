@@ -1,0 +1,270 @@
+//! FIR filter design (windowed sinc) and application.
+//!
+//! The receiver front end uses a 128-order (129-tap) bandpass at 1–4 kHz
+//! (§2.3.2 of the paper); the channel simulator uses FIR convolution for
+//! multipath impulse responses. Long convolutions go through FFT
+//! overlap-add; short ones run directly.
+
+use crate::complex::{Complex, ZERO};
+use crate::fft::planner;
+use crate::window::Window;
+
+/// Designs a linear-phase lowpass FIR with `taps` coefficients and cutoff
+/// `cutoff_hz` at sample rate `fs`, using the given window.
+pub fn design_lowpass(taps: usize, cutoff_hz: f64, fs: f64, window: Window) -> Vec<f64> {
+    assert!(taps >= 1 && cutoff_hz > 0.0 && cutoff_hz < fs / 2.0);
+    let fc = cutoff_hz / fs; // normalized (cycles/sample)
+    let mid = (taps - 1) as f64 / 2.0;
+    let mut h: Vec<f64> = (0..taps)
+        .map(|n| {
+            let t = n as f64 - mid;
+            let sinc = if t.abs() < 1e-12 {
+                2.0 * fc
+            } else {
+                (2.0 * std::f64::consts::PI * fc * t).sin() / (std::f64::consts::PI * t)
+            };
+            sinc * window.value(n, taps)
+        })
+        .collect();
+    // Normalize DC gain to 1.
+    let dc: f64 = h.iter().sum();
+    for c in h.iter_mut() {
+        *c /= dc;
+    }
+    h
+}
+
+/// Designs a linear-phase bandpass FIR passing `lo_hz..hi_hz`.
+///
+/// Built as the difference of two lowpass designs; gain is normalized to
+/// unity at the band center.
+pub fn design_bandpass(taps: usize, lo_hz: f64, hi_hz: f64, fs: f64, window: Window) -> Vec<f64> {
+    assert!(lo_hz < hi_hz && hi_hz < fs / 2.0);
+    let hp = design_lowpass(taps, hi_hz, fs, window);
+    let lp = design_lowpass(taps, lo_hz, fs, window);
+    let mut h: Vec<f64> = hp.iter().zip(&lp).map(|(a, b)| a - b).collect();
+    // Normalize gain at band center.
+    let f0 = (lo_hz + hi_hz) / 2.0 / fs;
+    let (mut re, mut im) = (0.0, 0.0);
+    for (n, &c) in h.iter().enumerate() {
+        let phi = -2.0 * std::f64::consts::PI * f0 * n as f64;
+        re += c * phi.cos();
+        im += c * phi.sin();
+    }
+    let gain = re.hypot(im);
+    if gain > 1e-12 {
+        for c in h.iter_mut() {
+            *c /= gain;
+        }
+    }
+    h
+}
+
+/// Direct-form convolution, "full" mode: output length `x.len()+h.len()-1`.
+pub fn convolve(x: &[f64], h: &[f64]) -> Vec<f64> {
+    if x.is_empty() || h.is_empty() {
+        return Vec::new();
+    }
+    let mut y = vec![0.0; x.len() + h.len() - 1];
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        for (j, &hj) in h.iter().enumerate() {
+            y[i + j] += xi * hj;
+        }
+    }
+    y
+}
+
+/// FFT-based convolution, "full" mode. Much faster for long inputs.
+pub fn fft_convolve(x: &[f64], h: &[f64]) -> Vec<f64> {
+    if x.is_empty() || h.is_empty() {
+        return Vec::new();
+    }
+    let out_len = x.len() + h.len() - 1;
+    let n = out_len.next_power_of_two();
+    let plan = planner(n);
+    let mut a: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
+    a.resize(n, ZERO);
+    let mut b: Vec<Complex> = h.iter().map(|&v| Complex::real(v)).collect();
+    b.resize(n, ZERO);
+    plan.forward(&mut a);
+    plan.forward(&mut b);
+    for (p, q) in a.iter_mut().zip(&b) {
+        *p *= *q;
+    }
+    plan.inverse(&mut a);
+    a.truncate(out_len);
+    a.into_iter().map(|c| c.re).collect()
+}
+
+/// Convolution that picks direct or FFT form based on size.
+pub fn convolve_auto(x: &[f64], h: &[f64]) -> Vec<f64> {
+    // Direct cost ~ x.len()*h.len(); FFT cost ~ N log N with N ≈ sum.
+    if x.len().saturating_mul(h.len()) > 1 << 16 {
+        fft_convolve(x, h)
+    } else {
+        convolve(x, h)
+    }
+}
+
+/// Applies an FIR filter and compensates its group delay, returning a signal
+/// the same length as the input ("same" mode centered on the filter's linear
+/// phase delay). Assumes `h` is linear phase (symmetric), as all filters
+/// designed in this module are.
+pub fn filter_same(x: &[f64], h: &[f64]) -> Vec<f64> {
+    let full = convolve_auto(x, h);
+    let delay = (h.len() - 1) / 2;
+    full[delay..delay + x.len()].to_vec()
+}
+
+/// A streaming FIR filter with persistent state, for block-based real-time
+/// style processing (carrier sense, receiver front end).
+pub struct StreamingFir {
+    taps: Vec<f64>,
+    /// Delay line of the last `taps.len()-1` input samples.
+    history: Vec<f64>,
+}
+
+impl StreamingFir {
+    /// Creates a streaming filter from taps.
+    pub fn new(taps: Vec<f64>) -> Self {
+        assert!(!taps.is_empty());
+        let hist_len = taps.len() - 1;
+        Self {
+            taps,
+            history: vec![0.0; hist_len],
+        }
+    }
+
+    /// Filters one block, maintaining state across calls. Output aligns with
+    /// input (causal; includes the filter's group delay).
+    pub fn process(&mut self, block: &[f64]) -> Vec<f64> {
+        let k = self.taps.len();
+        let mut extended = Vec::with_capacity(self.history.len() + block.len());
+        extended.extend_from_slice(&self.history);
+        extended.extend_from_slice(block);
+        let mut out = Vec::with_capacity(block.len());
+        for i in 0..block.len() {
+            // extended index of current sample = history.len() + i
+            let end = self.history.len() + i;
+            let mut acc = 0.0;
+            for (j, &t) in self.taps.iter().enumerate() {
+                let idx = end as isize - j as isize;
+                if idx >= 0 {
+                    acc += t * extended[idx as usize];
+                }
+            }
+            out.push(acc);
+        }
+        // Update history with the last k-1 input samples.
+        if block.len() >= k - 1 {
+            self.history.clear();
+            self.history.extend_from_slice(&block[block.len() - (k - 1)..]);
+        } else {
+            let keep = (k - 1) - block.len();
+            let tail: Vec<f64> = self.history[self.history.len() - keep..].to_vec();
+            self.history.clear();
+            self.history.extend_from_slice(&tail);
+            self.history.extend_from_slice(block);
+        }
+        out
+    }
+
+    /// Resets the delay line.
+    pub fn reset(&mut self) {
+        for v in self.history.iter_mut() {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Evaluates the frequency response of an FIR at `freq_hz`, returning
+/// magnitude in dB.
+pub fn freq_response_db(taps: &[f64], freq_hz: f64, fs: f64) -> f64 {
+    let w = 2.0 * std::f64::consts::PI * freq_hz / fs;
+    let mut acc = ZERO;
+    for (n, &c) in taps.iter().enumerate() {
+        acc += Complex::cis(-w * n as f64).scale(c);
+    }
+    20.0 * acc.abs().max(1e-300).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowpass_passes_dc_and_rejects_high() {
+        let h = design_lowpass(129, 1000.0, 48000.0, Window::Hamming);
+        assert!(freq_response_db(&h, 0.0, 48000.0).abs() < 0.1);
+        assert!(freq_response_db(&h, 10000.0, 48000.0) < -40.0);
+    }
+
+    #[test]
+    fn bandpass_passes_band_and_rejects_outside() {
+        let h = design_bandpass(129, 1000.0, 4000.0, 48000.0, Window::Hamming);
+        assert!(freq_response_db(&h, 2500.0, 48000.0).abs() < 0.5);
+        assert!(freq_response_db(&h, 100.0, 48000.0) < -30.0);
+        assert!(freq_response_db(&h, 10000.0, 48000.0) < -30.0);
+    }
+
+    #[test]
+    fn fft_convolve_matches_direct() {
+        let x: Vec<f64> = (0..300).map(|i| ((i * 7919) % 23) as f64 - 11.0).collect();
+        let h: Vec<f64> = (0..45).map(|i| ((i * 104729) % 17) as f64 - 8.0).collect();
+        let a = convolve(&x, &h);
+        let b = fft_convolve(&x, &h);
+        assert_eq!(a.len(), b.len());
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn convolve_with_unit_impulse_is_identity() {
+        let x = vec![1.0, -2.0, 3.0, 0.5];
+        let y = convolve(&x, &[1.0]);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn filter_same_preserves_length_and_tone() {
+        let fs = 48000.0;
+        let h = design_bandpass(129, 1000.0, 4000.0, fs, Window::Hamming);
+        let x: Vec<f64> = (0..4800)
+            .map(|i| (2.0 * std::f64::consts::PI * 2000.0 * i as f64 / fs).sin())
+            .collect();
+        let y = filter_same(&x, &h);
+        assert_eq!(y.len(), x.len());
+        // mid-signal energy should be preserved (ignore edge transients)
+        let ex: f64 = x[500..4300].iter().map(|v| v * v).sum();
+        let ey: f64 = y[500..4300].iter().map(|v| v * v).sum();
+        assert!((ey / ex - 1.0).abs() < 0.05, "energy ratio {}", ey / ex);
+    }
+
+    #[test]
+    fn streaming_fir_matches_batch_convolution() {
+        let h = design_lowpass(33, 3000.0, 48000.0, Window::Hann);
+        let x: Vec<f64> = (0..1000).map(|i| ((i * 31) % 13) as f64 - 6.0).collect();
+        let batch = convolve(&x, &h);
+        let mut f = StreamingFir::new(h.clone());
+        let mut streamed = Vec::new();
+        for chunk in x.chunks(17) {
+            streamed.extend(f.process(chunk));
+        }
+        for i in 0..streamed.len() {
+            assert!((streamed[i] - batch[i]).abs() < 1e-9, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn streaming_fir_reset_clears_state() {
+        let mut f = StreamingFir::new(vec![0.5, 0.5]);
+        f.process(&[10.0, 10.0]);
+        f.reset();
+        let y = f.process(&[0.0]);
+        assert_eq!(y, vec![0.0]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Goertzel single-bin DFT.
+//!
+//! The feedback decoder, ACK/ID detection and the FSK beacon demodulator
+//! need the energy of a handful of frequency bins over sliding windows; the
+//! Goertzel recurrence computes one bin in O(n) without a full FFT.
+
+use crate::complex::Complex;
+
+/// Computes the DFT coefficient of `signal` at frequency `freq` Hz for
+/// sample rate `fs` (non-integer bin frequencies are allowed).
+pub fn goertzel(signal: &[f64], freq: f64, fs: f64) -> Complex {
+    let w = 2.0 * std::f64::consts::PI * freq / fs;
+    let coeff = 2.0 * w.cos();
+    let (mut s1, mut s2) = (0.0, 0.0);
+    for &x in signal {
+        let s0 = x + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+    }
+    // Standard Goertzel finalization: X = s1 - e^{-jw}·s2.
+    let e = Complex::cis(-w);
+    Complex::new(s1, 0.0) - e * Complex::new(s2, 0.0)
+}
+
+/// Power (squared magnitude) of the Goertzel bin, the usual detection
+/// statistic.
+pub fn goertzel_power(signal: &[f64], freq: f64, fs: f64) -> f64 {
+    goertzel(signal, freq, fs).norm_sqr()
+}
+
+/// Evaluates Goertzel power at several frequencies and returns the index of
+/// the strongest one together with all powers.
+pub fn strongest_tone(signal: &[f64], freqs: &[f64], fs: f64) -> (usize, Vec<f64>) {
+    let powers: Vec<f64> = freqs.iter().map(|&f| goertzel_power(signal, f, fs)).collect();
+    let best = powers
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    (best, powers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chirp::tone;
+    use crate::fft::fft_real;
+
+    #[test]
+    fn goertzel_matches_fft_bin() {
+        let fs = 48000.0;
+        let n = 960;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (2.0 * std::f64::consts::PI * 2000.0 * t).sin()
+                    + 0.5 * (2.0 * std::f64::consts::PI * 3000.0 * t).cos()
+            })
+            .collect();
+        let spec = fft_real(&sig);
+        for &freq in &[2000.0, 3000.0, 1500.0] {
+            let bin = (freq / fs * n as f64).round() as usize;
+            let g = goertzel(&sig, freq, fs);
+            assert!(
+                (g.abs() - spec[bin].abs()).abs() < 1e-6,
+                "freq {freq}: goertzel {} fft {}",
+                g.abs(),
+                spec[bin].abs()
+            );
+        }
+    }
+
+    #[test]
+    fn detects_present_tone_over_absent() {
+        let fs = 48000.0;
+        let sig = tone(2500.0, 2400, fs);
+        let p_on = goertzel_power(&sig, 2500.0, fs);
+        let p_off = goertzel_power(&sig, 3100.0, fs);
+        assert!(p_on > 1000.0 * p_off);
+    }
+
+    #[test]
+    fn strongest_tone_picks_correct_fsk_symbol() {
+        let fs = 48000.0;
+        let f0 = 2000.0;
+        let f1 = 3000.0;
+        let sig = tone(f1, 4800, fs);
+        let (idx, powers) = strongest_tone(&sig, &[f0, f1], fs);
+        assert_eq!(idx, 1);
+        assert!(powers[1] > powers[0]);
+    }
+
+    #[test]
+    fn zero_signal_has_zero_power() {
+        assert!(goertzel_power(&vec![0.0; 100], 1000.0, 48000.0) < 1e-20);
+    }
+}

@@ -1,0 +1,45 @@
+//! # aqua-dsp
+//!
+//! Digital-signal-processing substrate for the AquaModem underwater acoustic
+//! modem (a Rust reproduction of *Underwater Messaging Using Mobile
+//! Devices*, SIGCOMM 2022).
+//!
+//! Everything here is implemented from scratch so the workspace has no
+//! external DSP dependencies:
+//!
+//! - [`complex`]: `f64` complex arithmetic.
+//! - [`fft`]: mixed-radix FFT covering the modem's non-power-of-two OFDM
+//!   sizes (960 / 1920 / 4800 samples) with a Bluestein fallback.
+//! - [`window`], [`fir`]: window functions, windowed-sinc FIR design, and
+//!   batch/streaming filtering (the receiver's 1–4 kHz front-end bandpass).
+//! - [`correlate`]: FFT-accelerated and normalized cross-correlation for
+//!   preamble detection.
+//! - [`cazac`]: Zadoff–Chu sequences for the preamble (unit PAPR, ideal
+//!   autocorrelation).
+//! - [`chirp`]: LFM chirps and tones for channel sounding, FSK, IDs, ACKs.
+//! - [`goertzel`]: single-bin DFT for feedback/ACK/FSK detection.
+//! - [`resample`]: band-limited fractional-delay interpolation (physical
+//!   Doppler rendering in the channel simulator).
+//! - [`linalg`]: Levinson–Durbin Toeplitz solver and Cholesky (the MMSE
+//!   equalizer's normal equations).
+//! - [`spectrum`]: Welch PSD and chirp-response estimation (Figs. 3/4/9).
+//! - [`stats`]: percentiles/CDFs, Q-function, theoretical BPSK BER.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cazac;
+pub mod chirp;
+pub mod complex;
+pub mod correlate;
+pub mod fft;
+pub mod fir;
+pub mod goertzel;
+pub mod linalg;
+pub mod resample;
+pub mod spectrum;
+pub mod stats;
+pub mod window;
+
+pub use complex::Complex;
+pub use fft::Fft;

@@ -1,0 +1,210 @@
+//! Small linear-algebra solvers for equalizer and channel estimation.
+//!
+//! The time-domain MMSE equalizer solves a Toeplitz normal-equation system
+//! (autocorrelation matrix of the received training signal); Levinson–Durbin
+//! solves it in O(n²). A dense Cholesky solver backs the general case and
+//! cross-checks Levinson in tests.
+
+/// Solves the symmetric positive-definite Toeplitz system `T x = b`, where
+/// `T[i][j] = r[|i-j|]`, via the Levinson recursion. Returns `None` if the
+/// recursion becomes numerically singular.
+pub fn levinson_solve(r: &[f64], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert!(r.len() >= n, "need n autocorrelation lags");
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    if r[0].abs() < 1e-300 {
+        return None;
+    }
+    // Forward vector f and solution x, grown one order at a time.
+    let mut f = vec![0.0; n];
+    let mut x = vec![0.0; n];
+    f[0] = 1.0 / r[0];
+    x[0] = b[0] / r[0];
+    let mut f_prev = f.clone();
+    for m in 1..n {
+        // error of forward vector against new row
+        let mut ef = 0.0;
+        for i in 0..m {
+            ef += r[m - i] * f[i];
+        }
+        let denom = 1.0 - ef * ef;
+        if denom.abs() < 1e-300 {
+            return None;
+        }
+        // update forward vector: f_new = (f,0)/ (1-ef^2) - ef*(0,rev f)/(1-ef^2)
+        f_prev[..m].copy_from_slice(&f[..m]);
+        f_prev[m] = 0.0;
+        for i in 0..=m {
+            let rev = if i == 0 { 0.0 } else { f_prev[m - i] };
+            f[i] = (f_prev[i] - ef * rev) / denom;
+        }
+        // error of x against new row
+        let mut ex = 0.0;
+        for i in 0..m {
+            ex += r[m - i] * x[i];
+        }
+        let coeff = b[m] - ex;
+        for i in 0..=m {
+            // backward vector of the order-(m+1) system: b_i = f_{m-i}
+            x[i] += coeff * f[m - i];
+        }
+    }
+    // backward vector for symmetric Toeplitz is reversed forward vector;
+    // the recursion above folds that in.
+    Some(x)
+}
+
+/// Cholesky factorization of a symmetric positive-definite matrix stored
+/// row-major. Returns the lower-triangular factor `L` with `A = L·Lᵀ`, or
+/// `None` if the matrix is not positive definite.
+pub fn cholesky(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            let (row_i, row_j) = (&l[i], &l[j]);
+            for k in 0..j {
+                sum -= row_i[k] * row_j[k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+pub fn cholesky_solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let l = cholesky(a)?;
+    let n = b.len();
+    // forward solve L y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i][k] * y[k];
+        }
+        y[i] = sum / l[i][i];
+    }
+    // back solve L^T x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k][i] * x[k];
+        }
+        x[i] = sum / l[i][i];
+    }
+    Some(x)
+}
+
+/// Builds the full Toeplitz matrix from its first column (symmetric case),
+/// mainly for tests and for small regularized solves.
+pub fn toeplitz_matrix(r: &[f64], n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| (0..n).map(|j| r[i.abs_diff(j)]).collect())
+        .collect()
+}
+
+/// Matrix-vector product for a row-major dense matrix.
+pub fn matvec(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    a.iter().map(|row| row.iter().zip(x).map(|(r, v)| r * v).sum()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_seq(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s as f64 / u64::MAX as f64) - 0.5
+            })
+            .collect()
+    }
+
+    /// Builds a valid autocorrelation sequence from a random signal so the
+    /// Toeplitz matrix is positive definite.
+    fn autocorr(sig: &[f64], lags: usize) -> Vec<f64> {
+        (0..lags)
+            .map(|l| {
+                let mut acc = 0.0;
+                for i in 0..sig.len() - l {
+                    acc += sig[i] * sig[i + l];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn levinson_matches_cholesky() {
+        for n in [1usize, 2, 5, 16, 40] {
+            let sig = rand_seq(400, n as u64 * 17 + 3);
+            let mut r = autocorr(&sig, n);
+            r[0] += 0.1; // diagonal loading for conditioning
+            let b = rand_seq(n, n as u64 + 99);
+            let x1 = levinson_solve(&r, &b).expect("levinson");
+            let a = toeplitz_matrix(&r, n);
+            let x2 = cholesky_solve(&a, &b).expect("cholesky");
+            for i in 0..n {
+                assert!((x1[i] - x2[i]).abs() < 1e-6, "n {n} i {i}: {} vs {}", x1[i], x2[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn levinson_solution_satisfies_system() {
+        let n = 24;
+        let sig = rand_seq(500, 42);
+        let mut r = autocorr(&sig, n);
+        r[0] *= 1.01;
+        let b = rand_seq(n, 7);
+        let x = levinson_solve(&r, &b).unwrap();
+        let a = toeplitz_matrix(&r, n);
+        let bx = matvec(&a, &x);
+        for i in 0..n {
+            assert!((bx[i] - b[i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn identity_system_returns_rhs() {
+        let r = vec![1.0, 0.0, 0.0, 0.0];
+        let b = vec![3.0, -1.0, 2.0, 0.5];
+        let x = levinson_solve(&r, &b).unwrap();
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite_matrix() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 1.0]]; // eigenvalues 3, -1
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn singular_toeplitz_returns_none() {
+        let r = vec![0.0, 0.0, 0.0];
+        assert!(levinson_solve(&r, &[1.0, 1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn empty_system_is_trivial() {
+        assert_eq!(levinson_solve(&[], &[]), Some(vec![]));
+    }
+}

@@ -1,0 +1,106 @@
+//! Window functions for FIR design and spectral estimation.
+
+/// Window shape selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Window {
+    /// Rectangular (no taper).
+    Rectangular,
+    /// Hann (raised cosine).
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman (three-term).
+    Blackman,
+    /// Kaiser with shape parameter beta.
+    Kaiser(f64),
+}
+
+impl Window {
+    /// Evaluates the window at tap `n` of an `len`-tap window.
+    pub fn value(self, n: usize, len: usize) -> f64 {
+        if len <= 1 {
+            return 1.0;
+        }
+        let x = n as f64 / (len - 1) as f64; // 0..=1
+        let tau = 2.0 * std::f64::consts::PI;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * (tau * x).cos(),
+            Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
+            Window::Blackman => 0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos(),
+            Window::Kaiser(beta) => {
+                let r = 2.0 * x - 1.0; // -1..=1
+                bessel_i0(beta * (1.0 - r * r).max(0.0).sqrt()) / bessel_i0(beta)
+            }
+        }
+    }
+
+    /// Materializes the window as a vector of `len` taps.
+    pub fn build(self, len: usize) -> Vec<f64> {
+        (0..len).map(|n| self.value(n, len)).collect()
+    }
+}
+
+/// Modified Bessel function of the first kind, order zero, by power series.
+/// Converges quickly for the β ranges used in Kaiser windows (β ≤ 20).
+pub fn bessel_i0(x: f64) -> f64 {
+    let mut sum = 1.0;
+    let mut term = 1.0;
+    let half_x = x / 2.0;
+    for k in 1..64 {
+        term *= (half_x / k as f64) * (half_x / k as f64);
+        sum += term;
+        if term < 1e-18 * sum {
+            break;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_symmetric() {
+        for w in [
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::Kaiser(8.0),
+        ] {
+            let taps = w.build(65);
+            for i in 0..taps.len() {
+                assert!((taps[i] - taps[taps.len() - 1 - i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_and_center_is_one() {
+        let taps = Window::Hann.build(129);
+        assert!(taps[0].abs() < 1e-12);
+        assert!((taps[64] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kaiser_beta_zero_is_rectangular() {
+        let taps = Window::Kaiser(0.0).build(33);
+        for t in taps {
+            assert!((t - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bessel_matches_known_values() {
+        // I0(0)=1, I0(1)≈1.2660658, I0(5)≈27.2398718
+        assert!((bessel_i0(0.0) - 1.0).abs() < 1e-14);
+        assert!((bessel_i0(1.0) - 1.2660658777520084).abs() < 1e-10);
+        assert!((bessel_i0(5.0) - 27.239871823604442).abs() < 1e-8);
+    }
+
+    #[test]
+    fn single_tap_window_is_one() {
+        assert_eq!(Window::Hann.build(1), vec![1.0]);
+    }
+}

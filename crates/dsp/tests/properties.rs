@@ -1,0 +1,133 @@
+//! Property-based tests on the DSP substrate's invariants.
+
+use aqua_dsp::complex::Complex;
+use aqua_dsp::correlate::{xcorr_valid, xcorr_valid_fft};
+use aqua_dsp::fft::{fft_real, Fft};
+use aqua_dsp::fir::{convolve, fft_convolve};
+use aqua_dsp::goertzel::goertzel;
+use aqua_dsp::stats::{percentile, qfunc};
+use aqua_dsp::window::Window;
+use proptest::prelude::*;
+
+fn signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0f64..1.0, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// FFT is linear: F(a·x + y) = a·F(x) + F(y).
+    #[test]
+    fn fft_linearity(len in 2usize..128, a in -3.0f64..3.0, seed in 0u64..100) {
+        let mut s = seed | 1;
+        let mut rnd = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        let x: Vec<Complex> = (0..len).map(|_| Complex::new(rnd(), rnd())).collect();
+        let y: Vec<Complex> = (0..len).map(|_| Complex::new(rnd(), rnd())).collect();
+        let plan = Fft::new(len);
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        plan.forward(&mut fx);
+        plan.forward(&mut fy);
+        let mut combined: Vec<Complex> = x.iter().zip(&y).map(|(p, q)| p.scale(a) + *q).collect();
+        plan.forward(&mut combined);
+        for k in 0..len {
+            let want = fx[k].scale(a) + fy[k];
+            prop_assert!((combined[k] - want).abs() < 1e-7 * len as f64);
+        }
+    }
+
+    /// Parseval: time-domain and frequency-domain energies agree.
+    #[test]
+    fn fft_parseval(x in signal_strategy(256)) {
+        let spec = fft_real(&x);
+        let et: f64 = x.iter().map(|v| v * v).sum();
+        let ef: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / x.len() as f64;
+        prop_assert!((et - ef).abs() <= 1e-8 * et.max(1.0));
+    }
+
+    /// Real-signal spectra are Hermitian-symmetric.
+    #[test]
+    fn fft_real_hermitian(x in signal_strategy(128)) {
+        let spec = fft_real(&x);
+        let n = x.len();
+        for k in 1..n {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            prop_assert!((a - b).abs() < 1e-8 * n as f64);
+        }
+    }
+
+    /// Convolution is commutative and FFT convolution matches direct.
+    #[test]
+    fn convolution_properties(x in signal_strategy(64), h in signal_strategy(32)) {
+        let a = convolve(&x, &h);
+        let b = convolve(&h, &x);
+        let c = fft_convolve(&x, &h);
+        prop_assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            prop_assert!((a[i] - b[i]).abs() < 1e-9);
+            prop_assert!((a[i] - c[i]).abs() < 1e-6);
+        }
+    }
+
+    /// FFT cross-correlation equals the direct form.
+    #[test]
+    fn xcorr_fft_matches_direct(x in signal_strategy(128), t_len in 1usize..32) {
+        prop_assume!(x.len() >= t_len);
+        let template: Vec<f64> = x.iter().take(t_len).map(|v| v * 0.7 + 0.1).collect();
+        let a = xcorr_valid(&x, &template);
+        let b = xcorr_valid_fft(&x, &template);
+        prop_assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            prop_assert!((a[i] - b[i]).abs() < 1e-6);
+        }
+    }
+
+    /// Goertzel at an exact bin frequency matches the FFT bin.
+    #[test]
+    fn goertzel_matches_fft_bin(x in signal_strategy(200), bin_frac in 0.05f64..0.45) {
+        let n = x.len();
+        let bin = ((bin_frac * n as f64) as usize).max(1).min(n - 1);
+        let fs = 48_000.0;
+        let freq = bin as f64 * fs / n as f64;
+        let g = goertzel(&x, freq, fs);
+        let spec = fft_real(&x);
+        prop_assert!((g.abs() - spec[bin].abs()).abs() < 1e-6 * n as f64);
+    }
+
+    /// Window values stay in [0, 1] and windows are symmetric.
+    #[test]
+    fn window_bounds(len in 2usize..256) {
+        for w in [Window::Hann, Window::Hamming, Window::Blackman, Window::Kaiser(9.0)] {
+            let taps = w.build(len);
+            for (i, &t) in taps.iter().enumerate() {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&t), "{w:?}[{i}] = {t}");
+                prop_assert!((t - taps[len - 1 - i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentile_monotone(xs in proptest::collection::vec(-100.0f64..100.0, 1..64)) {
+        let lo = percentile(&xs, 10.0);
+        let mid = percentile(&xs, 50.0);
+        let hi = percentile(&xs, 90.0);
+        prop_assert!(lo <= mid && mid <= hi);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo >= min - 1e-12 && hi <= max + 1e-12);
+    }
+
+    /// Q-function is a valid decreasing tail probability.
+    #[test]
+    fn qfunc_is_decreasing_probability(x in -6.0f64..6.0) {
+        let q = qfunc(x);
+        prop_assert!((0.0..=1.0).contains(&q));
+        let q2 = qfunc(x + 0.1);
+        prop_assert!(q2 <= q + 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's figures as text tables.
+//!
+//! Usage: `repro [experiment|all] [quick|standard|full]`
+//!
+//! Examples:
+//!   repro all standard      # every figure at ~40 packets/config
+//!   repro fig9 full         # the environments experiment at paper scale
+//!   repro list              # list available experiments
+
+use aqua_eval::{run_experiment, RunSize, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let size = args
+        .get(1)
+        .and_then(|s| RunSize::parse(s))
+        .unwrap_or(RunSize::Standard);
+
+    if which == "list" {
+        for name in ALL_EXPERIMENTS {
+            println!("{name}");
+        }
+        return;
+    }
+
+    let names: Vec<&str> = if which == "all" {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        vec![which]
+    };
+    for name in names {
+        let start = std::time::Instant::now();
+        match run_experiment(name, size) {
+            Some(report) => {
+                println!("{report}");
+                eprintln!("[{name} took {:.1} s]", start.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment {name:?}; try `repro list`");
+                std::process::exit(2);
+            }
+        }
+    }
+}

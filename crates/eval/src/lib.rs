@@ -1,0 +1,66 @@
+//! # aqua-eval
+//!
+//! Experiment harness that regenerates every figure of *Underwater
+//! Messaging Using Mobile Devices* (SIGCOMM 2022) against the AquaModem
+//! stack and the channel simulator. See DESIGN.md §5 for the experiment
+//! index and EXPERIMENTS.md for recorded paper-vs-measured results.
+//!
+//! Run `cargo run -p aqua-eval --release --bin repro -- all standard` to
+//! regenerate everything (≈45 min on two laptop cores — the range and
+//! mobility sweeps render hundreds of moving-channel packets; `quick`
+//! finishes in ≈5 min at 8 packets per configuration).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterization;
+pub mod link_experiments;
+pub mod network;
+pub mod robustness;
+pub mod runner;
+pub mod table;
+
+pub use runner::RunSize;
+
+/// Receiver front end shared by experiments: the 1–4 kHz bandpass.
+pub fn front_end(rx: &[f64]) -> Vec<f64> {
+    use aqua_dsp::fir::{design_bandpass, filter_same};
+    use aqua_dsp::window::Window;
+    let taps = design_bandpass(129, 850.0, 4150.0, runner::FS, Window::Hamming);
+    filter_same(rx, &taps)
+}
+
+/// Runs one named experiment, returning its report.
+pub fn run_experiment(name: &str, size: RunSize) -> Option<String> {
+    Some(match name {
+        "fig3a" => characterization::fig3a(),
+        "fig3b" => characterization::fig3b(),
+        "fig3cd" => characterization::fig3cd(),
+        "fig4" => characterization::fig4(),
+        "fig8" => link_experiments::fig8(size),
+        "fig9" => link_experiments::fig9(size),
+        "fig10" => link_experiments::fig10(size),
+        "fig11" => link_experiments::fig11(size),
+        "fig12" => link_experiments::fig12(size),
+        "fig12d" => network::fig12d(size),
+        "fig14" => robustness::fig14(size),
+        "fig15" => link_experiments::fig15(size),
+        "fig16" => robustness::fig16(size),
+        "fig17" => link_experiments::fig17(size),
+        "fig18" => characterization::fig18(),
+        "fig19" => network::fig19(size),
+        "preamble" => robustness::preamble_and_feedback_stats(size),
+        "detector" => robustness::detector_ablation(size),
+        "latency" => link_experiments::latency(size),
+        "delayspread" => characterization::delay_spread(),
+        _ => return None,
+    })
+}
+
+/// All experiment names in paper order (fig12 covers Fig. 13 too;
+/// `detector` is this repo's added ablation).
+pub const ALL_EXPERIMENTS: [&str; 20] = [
+    "fig3a", "fig3b", "fig3cd", "fig4", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig12d", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+    "preamble", "detector", "latency", "delayspread",
+];

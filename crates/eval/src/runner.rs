@@ -1,0 +1,136 @@
+//! Shared experiment plumbing: packet series, summaries, link sounding.
+
+use aqua_channel::environments::Environment;
+use aqua_channel::geometry::Pos;
+use aqua_channel::link::{Link, LinkConfig, SAMPLE_RATE};
+use aqua_dsp::stats::median;
+use aquapp::trial::{run_trial, TrialConfig, TrialResult};
+
+/// Global run-size knob: `quick` shrinks packet counts for smoke tests and
+/// benches; `full` approximates the paper's 100-packet runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunSize {
+    /// A handful of packets — CI-friendly.
+    Quick,
+    /// The default for the repro binary (~40 packets/config).
+    Standard,
+    /// The paper's scale (100 packets/config).
+    Full,
+}
+
+impl RunSize {
+    /// Packets per configuration.
+    pub fn packets(self) -> usize {
+        match self {
+            RunSize::Quick => 8,
+            RunSize::Standard => 40,
+            RunSize::Full => 100,
+        }
+    }
+
+    /// Parses from a CLI word.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "quick" => Some(RunSize::Quick),
+            "standard" => Some(RunSize::Standard),
+            "full" => Some(RunSize::Full),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate statistics over a packet series.
+#[derive(Debug, Clone)]
+pub struct SeriesStats {
+    /// All trial results.
+    pub trials: Vec<TrialResult>,
+    /// Packet error rate (the paper's criterion: any payload bit error, or
+    /// any earlier protocol failure, marks the packet erroneous).
+    pub per: f64,
+    /// Mean BER over the coded bits of all packets.
+    pub coded_ber: f64,
+    /// Median coded bitrate over packets that reached the data phase.
+    pub median_bitrate: f64,
+    /// All selected coded bitrates (for CDFs).
+    pub bitrates: Vec<f64>,
+    /// Preamble detection rate.
+    pub detection_rate: f64,
+}
+
+/// Runs `n` packet exchanges built by `make` (seed varies per packet).
+pub fn packet_series(n: usize, make: impl Fn(u64) -> TrialConfig) -> SeriesStats {
+    let trials: Vec<TrialResult> = (0..n).map(|i| run_trial(&make(i as u64))).collect();
+    summarize(trials)
+}
+
+/// Summarizes a set of trials.
+pub fn summarize(trials: Vec<TrialResult>) -> SeriesStats {
+    let n = trials.len().max(1);
+    let per = trials.iter().filter(|t| !t.packet_ok).count() as f64 / n as f64;
+    let coded_ber = trials.iter().map(|t| t.coded_ber).sum::<f64>() / n as f64;
+    let bitrates: Vec<f64> = trials
+        .iter()
+        .filter(|t| t.band.is_some() && t.preamble_detected)
+        .map(|t| t.coded_bitrate_bps)
+        .collect();
+    let median_bitrate = if bitrates.is_empty() {
+        0.0
+    } else {
+        median(&bitrates)
+    };
+    let detection_rate =
+        trials.iter().filter(|t| t.preamble_detected).count() as f64 / n as f64;
+    SeriesStats {
+        trials,
+        per,
+        coded_ber,
+        median_bitrate,
+        bitrates,
+        detection_rate,
+    }
+}
+
+/// Builds a noiseless sounding link between two S9s for characterization
+/// figures.
+pub fn sounding_link(env: Environment, tx: Pos, rx: Pos, seed: u64) -> Link {
+    let mut cfg = LinkConfig::s9_pair(env, tx, rx, seed);
+    cfg.noise = false;
+    Link::new(cfg)
+}
+
+/// The usable-band frequency grid (1–4 kHz at 50 Hz).
+pub fn band_freqs() -> Vec<f64> {
+    (20..80).map(|k| k as f64 * 50.0).collect()
+}
+
+/// Standard sample rate re-export for binaries.
+pub const FS: f64 = SAMPLE_RATE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_channel::environments::Site;
+
+    #[test]
+    fn quick_series_produces_stats() {
+        let stats = packet_series(3, |seed| {
+            TrialConfig::standard(
+                Environment::preset(Site::Bridge),
+                Pos::new(0.0, 0.0, 1.0),
+                Pos::new(5.0, 0.0, 1.0),
+                1000 + seed,
+            )
+        });
+        assert_eq!(stats.trials.len(), 3);
+        assert!(stats.detection_rate > 0.5);
+        assert!(stats.median_bitrate > 0.0);
+    }
+
+    #[test]
+    fn run_size_parsing() {
+        assert_eq!(RunSize::parse("quick"), Some(RunSize::Quick));
+        assert_eq!(RunSize::parse("full"), Some(RunSize::Full));
+        assert_eq!(RunSize::parse("bogus"), None);
+        assert!(RunSize::Full.packets() > RunSize::Quick.packets());
+    }
+}

@@ -1,0 +1,126 @@
+//! Plain-text rendering of experiment results: aligned tables and compact
+//! CDF rows, the textual equivalent of the paper's figures.
+
+/// A simple text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (already formatted cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("| ");
+            for (i, &width) in widths.iter().enumerate().take(ncols) {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:width$} | "));
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            out.push_str(&fmt_row(&self.header));
+            out.push('\n');
+            let mut sep = String::from("|");
+            for w in &widths {
+                sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+            }
+            out.push_str(&sep);
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a CDF of values at the standard probability levels.
+pub fn cdf_row(values: &[f64]) -> String {
+    if values.is_empty() {
+        return "(no data)".to_string();
+    }
+    let levels = [0.1, 0.25, 0.5, 0.75, 0.9];
+    let cells: Vec<String> = levels
+        .iter()
+        .map(|&p| {
+            format!(
+                "p{:02.0}={:.0}",
+                p * 100.0,
+                aqua_dsp::stats::percentile(values, p * 100.0)
+            )
+        })
+        .collect();
+    cells.join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| a   | long-header |"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn cdf_row_shows_median() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let row = cdf_row(&vals);
+        assert!(row.contains("p50="), "{row}");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.031), "3.1%");
+    }
+
+    #[test]
+    fn empty_cdf_is_graceful() {
+        assert_eq!(cdf_row(&[]), "(no data)");
+    }
+}

@@ -1,0 +1,72 @@
+//! Harness-level tests: the experiment registry and summary statistics.
+
+use aqua_eval::runner::{summarize, RunSize};
+use aqua_eval::{run_experiment, ALL_EXPERIMENTS};
+use aquapp::trial::TrialResult;
+
+fn trial(packet_ok: bool, detected: bool, bitrate: f64) -> TrialResult {
+    TrialResult {
+        preamble_detected: detected,
+        id_ok: detected,
+        channel: None,
+        band: detected.then(|| aqua_phy::bandselect::Band::new(0, 9)),
+        feedback_ok: detected,
+        bits: packet_ok.then(std::vec::Vec::new),
+        packet_ok,
+        coded_ber: if packet_ok { 0.0 } else { 0.5 },
+        coded_bitrate_bps: bitrate,
+    }
+}
+
+#[test]
+fn summarize_computes_per_and_medians() {
+    let stats = summarize(vec![
+        trial(true, true, 600.0),
+        trial(true, true, 1000.0),
+        trial(false, true, 200.0),
+        trial(false, false, 0.0),
+    ]);
+    assert!((stats.per - 0.5).abs() < 1e-12);
+    assert!((stats.detection_rate - 0.75).abs() < 1e-12);
+    // median over the three detected packets' bitrates (600, 1000, 200)
+    assert!((stats.median_bitrate - 600.0).abs() < 1e-9);
+    assert!((stats.coded_ber - 0.25).abs() < 1e-12);
+}
+
+#[test]
+fn summarize_handles_empty_input() {
+    let stats = summarize(Vec::new());
+    assert_eq!(stats.median_bitrate, 0.0);
+    assert_eq!(stats.bitrates.len(), 0);
+}
+
+#[test]
+fn registry_rejects_unknown_names() {
+    assert!(run_experiment("fig99", RunSize::Quick).is_none());
+    assert!(run_experiment("", RunSize::Quick).is_none());
+}
+
+#[test]
+fn registry_lists_every_paper_figure() {
+    for required in [
+        "fig3a", "fig3b", "fig3cd", "fig4", "fig8", "fig9", "fig10", "fig11",
+        "fig12", "fig12d", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+        "preamble",
+    ] {
+        assert!(
+            ALL_EXPERIMENTS.contains(&required),
+            "missing paper experiment {required}"
+        );
+    }
+}
+
+#[test]
+fn cheap_experiments_run_and_produce_tables() {
+    // the characterization experiments have no packet loops — they must be
+    // fast enough to smoke-test here
+    for name in ["fig3a", "fig3b", "fig3cd", "fig18", "delayspread"] {
+        let report = run_experiment(name, RunSize::Quick).expect(name);
+        assert!(report.contains('|'), "{name} produced no table:\n{report}");
+        assert!(report.lines().count() >= 4, "{name} table too small");
+    }
+}

@@ -1,0 +1,28 @@
+//! # aqua-mac
+//!
+//! Carrier-sense MAC for AquaModem (§2.4 of the paper):
+//!
+//! - [`carrier`]: waveform-level energy detection — 80 ms averages of
+//!   1–4 kHz band power against a noise-calibrated threshold.
+//! - [`netsim`]: slot-level multi-transmitter simulation reproducing the
+//!   Fig. 19 collision experiments (with/without carrier sense, random
+//!   backoff in packet-duration multiples).
+//! - [`budget`]: link-budget gain matrices derived from the channel model,
+//!   feeding the slot-level simulator.
+//!
+//! [`preamble_cs`] implements the preamble-detection-based carrier sense
+//! the paper lists as an improvement in §2.4 (it defers only on actual
+//! modem preambles, not on loud noise events). RTS/CTS-style feedback
+//! preambles remain unimplemented, as in the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod carrier;
+pub mod netsim;
+pub mod preamble_cs;
+
+pub use carrier::{band_energy, calibrate_threshold, CarrierSense};
+pub use netsim::{collision_stats, simulate, MacConfig, MacResult};
+pub use preamble_cs::PreambleCarrierSense;

@@ -1,0 +1,326 @@
+//! Slot-level network simulation for the MAC experiments (Fig. 19).
+//!
+//! The Fig. 19 experiment spans minutes of wall-clock audio (120 packets ×
+//! several transmitters) — too long to render sample-by-sample. Since
+//! carrier-sense decisions depend only on 80 ms *energy* averages, the
+//! simulator works at the energy-envelope level: per 80 ms slot, the energy
+//! a node senses is the sum of active transmitters' link-budget gains plus
+//! its noise floor. The link budget comes from the same channel model as
+//! the waveform path (see [`crate::budget`]); the waveform-level
+//! [`crate::carrier::CarrierSense`] is validated against real rendered
+//! audio in its own tests.
+//!
+//! Collisions are accounted exactly as in the paper: two packets whose
+//! start times fall within one packet duration of each other collide; the
+//! collision fraction is the number of packets involved in any collision
+//! divided by the total sent.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// MAC simulation parameters.
+#[derive(Debug, Clone)]
+pub struct MacConfig {
+    /// Sensing slot duration (seconds). The paper senses every 80 ms.
+    pub slot_s: f64,
+    /// Packet duration in seconds (header + feedback gap + data).
+    pub packet_duration_s: f64,
+    /// Packets each transmitter wants to send (paper: up to 120).
+    pub max_packets: usize,
+    /// Uniform range for the initial random delay, in seconds ("a random
+    /// backoff period of multiple seconds").
+    pub initial_delay_s: (f64, f64),
+    /// Uniform range of the idle gap between a node's packets, in seconds.
+    pub inter_packet_gap_s: (f64, f64),
+    /// Whether carrier sense is enabled (the Fig. 19 comparison axis).
+    pub carrier_sense: bool,
+    /// Busy threshold as a linear power multiple of the node's noise floor.
+    pub threshold_margin: f64,
+    /// Random backoff drawn when the channel reads busy, in packet
+    /// durations (inclusive range).
+    pub cs_backoff_packets: (u32, u32),
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        Self {
+            slot_s: 0.08,
+            packet_duration_s: 0.55,
+            max_packets: 120,
+            initial_delay_s: (0.5, 5.0),
+            inter_packet_gap_s: (0.2, 2.5),
+            carrier_sense: true,
+            threshold_margin: 4.0,
+            cs_backoff_packets: (1, 4),
+        }
+    }
+}
+
+/// Result of a MAC simulation run.
+#[derive(Debug, Clone)]
+pub struct MacResult {
+    /// Packet start times per transmitter (seconds).
+    pub tx_times: Vec<Vec<f64>>,
+    /// Fraction of packets involved in a collision (the paper's metric).
+    pub collision_fraction: f64,
+    /// Per-transmitter collision fractions.
+    pub per_tx_collision_fraction: Vec<f64>,
+    /// Total simulated time (seconds).
+    pub duration_s: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NodeState {
+    /// Waiting until this slot index before next action.
+    WaitingUntil(usize),
+    /// In carrier-sense backoff with this many slots remaining.
+    Backoff(usize),
+    /// Transmitting until this slot index.
+    TransmittingUntil(usize),
+    /// Sent all packets.
+    Done,
+}
+
+/// Runs the slot-level MAC simulation.
+///
+/// `gains[i][j]` is the linear power gain from transmitter `i` to node `j`
+/// (diagonal unused); `noise_floor[j]` is node `j`'s in-band noise power.
+pub fn simulate(
+    cfg: &MacConfig,
+    gains: &[Vec<f64>],
+    noise_floor: &[f64],
+    seed: u64,
+) -> MacResult {
+    let n = gains.len();
+    assert!(n >= 1 && noise_floor.len() == n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let packet_slots = (cfg.packet_duration_s / cfg.slot_s).ceil() as usize;
+    let to_slots =
+        |range: (f64, f64), rng: &mut StdRng| -> usize {
+            let s: f64 = rng.gen_range(range.0..=range.1);
+            (s / cfg.slot_s).ceil() as usize
+        };
+
+    let mut states: Vec<NodeState> = (0..n)
+        .map(|_| NodeState::WaitingUntil(to_slots(cfg.initial_delay_s, &mut rng)))
+        .collect();
+    let mut sent: Vec<usize> = vec![0; n];
+    let mut tx_times: Vec<Vec<f64>> = vec![Vec::new(); n];
+
+    let mut slot = 0usize;
+    let max_slots = 1_000_000; // safety stop (~22 hours simulated)
+    while states.iter().any(|s| !matches!(s, NodeState::Done)) && slot < max_slots {
+        // Energy each node senses this slot (sum of active others + noise).
+        let active: Vec<bool> = states
+            .iter()
+            .map(|s| matches!(s, NodeState::TransmittingUntil(until) if slot < *until))
+            .collect();
+        let sensed: Vec<f64> = (0..n)
+            .map(|j| {
+                let mut p = noise_floor[j];
+                for i in 0..n {
+                    if i != j && active[i] {
+                        p += gains[i][j];
+                    }
+                }
+                p
+            })
+            .collect();
+
+        for i in 0..n {
+            match states[i] {
+                NodeState::Done => {}
+                NodeState::TransmittingUntil(until) => {
+                    if slot >= until {
+                        states[i] = if sent[i] >= cfg.max_packets {
+                            NodeState::Done
+                        } else {
+                            NodeState::WaitingUntil(slot + to_slots(cfg.inter_packet_gap_s, &mut rng))
+                        };
+                    }
+                }
+                NodeState::WaitingUntil(when) => {
+                    if slot >= when {
+                        let busy = sensed[i] > noise_floor[i] * cfg.threshold_margin;
+                        if cfg.carrier_sense && busy {
+                            let packets: u32 =
+                                rng.gen_range(cfg.cs_backoff_packets.0..=cfg.cs_backoff_packets.1);
+                            states[i] = NodeState::Backoff(packets as usize * packet_slots);
+                        } else {
+                            tx_times[i].push(slot as f64 * cfg.slot_s);
+                            sent[i] += 1;
+                            states[i] = NodeState::TransmittingUntil(slot + packet_slots);
+                        }
+                    }
+                }
+                NodeState::Backoff(remaining) => {
+                    let busy = sensed[i] > noise_floor[i] * cfg.threshold_margin;
+                    // The paper's rule: if energy is detected during the
+                    // backoff, extend it so it cannot elapse mid-packet.
+                    let mut rem = remaining.saturating_sub(1);
+                    if busy && rem < packet_slots {
+                        rem += packet_slots;
+                    }
+                    if rem == 0 {
+                        if busy {
+                            rem = packet_slots; // re-check after one packet
+                        } else {
+                            tx_times[i].push(slot as f64 * cfg.slot_s);
+                            sent[i] += 1;
+                            states[i] = NodeState::TransmittingUntil(slot + packet_slots);
+                            continue;
+                        }
+                    }
+                    states[i] = NodeState::Backoff(rem);
+                }
+            }
+        }
+        slot += 1;
+    }
+
+    let (collision_fraction, per_tx) = collision_stats(&tx_times, cfg.packet_duration_s);
+    MacResult {
+        tx_times,
+        collision_fraction,
+        per_tx_collision_fraction: per_tx,
+        duration_s: slot as f64 * cfg.slot_s,
+    }
+}
+
+/// Computes the paper's collision metric from packet start timestamps:
+/// packets transmitted within one packet duration of each other collide.
+pub fn collision_stats(tx_times: &[Vec<f64>], packet_duration_s: f64) -> (f64, Vec<f64>) {
+    let mut all: Vec<(usize, f64)> = Vec::new();
+    for (tx, times) in tx_times.iter().enumerate() {
+        for &t in times {
+            all.push((tx, t));
+        }
+    }
+    all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let mut collided = vec![false; all.len()];
+    for i in 0..all.len() {
+        for j in i + 1..all.len() {
+            if all[j].1 - all[i].1 >= packet_duration_s {
+                break;
+            }
+            if all[i].0 != all[j].0 {
+                collided[i] = true;
+                collided[j] = true;
+            }
+        }
+    }
+    let total = all.len().max(1);
+    let frac = collided.iter().filter(|&&c| c).count() as f64 / total as f64;
+    let mut per_tx = vec![0.0; tx_times.len()];
+    for (tx, fractions) in per_tx.iter_mut().enumerate() {
+        let mine: Vec<usize> = all
+            .iter()
+            .enumerate()
+            .filter(|(_, (t, _))| *t == tx)
+            .map(|(i, _)| i)
+            .collect();
+        if !mine.is_empty() {
+            *fractions =
+                mine.iter().filter(|&&i| collided[i]).count() as f64 / mine.len() as f64;
+        }
+    }
+    (frac, per_tx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Symmetric gain matrix for `n` nodes a few meters apart with gains
+    /// well above the noise floor (sensing is easy, as at 5-10 m).
+    fn easy_gains(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let gains = vec![vec![1e-4; n]; n];
+        let noise = vec![1e-6; n];
+        (gains, noise)
+    }
+
+    fn cfg(carrier_sense: bool, max_packets: usize) -> MacConfig {
+        MacConfig {
+            carrier_sense,
+            max_packets,
+            ..MacConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_packets_eventually_sent() {
+        let (g, nf) = easy_gains(3);
+        let r = simulate(&cfg(true, 30), &g, &nf, 1);
+        for times in &r.tx_times {
+            assert_eq!(times.len(), 30);
+        }
+    }
+
+    #[test]
+    fn carrier_sense_reduces_collisions() {
+        let (g, nf) = easy_gains(4); // 3 tx + 1 rx-ish node (all send here)
+        let with_cs = simulate(&cfg(true, 60), &g, &nf, 7);
+        let without = simulate(&cfg(false, 60), &g, &nf, 7);
+        assert!(
+            with_cs.collision_fraction < without.collision_fraction * 0.5,
+            "CS {} vs no-CS {}",
+            with_cs.collision_fraction,
+            without.collision_fraction
+        );
+        assert!(without.collision_fraction > 0.15, "uncoordinated load should collide");
+    }
+
+    #[test]
+    fn transmissions_never_overlap_with_perfect_sensing() {
+        // With ideal sensing and zero propagation delay in the envelope
+        // model, carrier sense leaves only same-slot starts as collisions —
+        // they should be rare.
+        let (g, nf) = easy_gains(3);
+        let r = simulate(&cfg(true, 40), &g, &nf, 3);
+        assert!(r.collision_fraction < 0.15, "residual {}", r.collision_fraction);
+    }
+
+    #[test]
+    fn hidden_node_increases_collisions() {
+        // Node 0 and node 1 cannot hear each other (gain below threshold)
+        // but both reach node 2: carrier sense cannot help.
+        let mut gains = vec![vec![1e-4; 3]; 3];
+        gains[0][1] = 1e-9;
+        gains[1][0] = 1e-9;
+        let noise = vec![1e-6; 3];
+        let hidden = simulate(&cfg(true, 60), &gains, &noise, 5);
+        let (g2, nf2) = easy_gains(3);
+        let normal = simulate(&cfg(true, 60), &g2, &nf2, 5);
+        assert!(
+            hidden.collision_fraction > normal.collision_fraction,
+            "hidden {} vs normal {}",
+            hidden.collision_fraction,
+            normal.collision_fraction
+        );
+    }
+
+    #[test]
+    fn collision_stats_basic_cases() {
+        // two packets overlapping from different tx -> both collided
+        let times = vec![vec![0.0], vec![0.3]];
+        let (f, per) = collision_stats(&times, 0.55);
+        assert!((f - 1.0).abs() < 1e-12);
+        assert_eq!(per, vec![1.0, 1.0]);
+        // well separated -> no collision
+        let times = vec![vec![0.0], vec![2.0]];
+        let (f, _) = collision_stats(&times, 0.55);
+        assert_eq!(f, 0.0);
+        // same tx back-to-back is not a collision
+        let times = vec![vec![0.0, 0.3]];
+        let (f, _) = collision_stats(&times, 0.55);
+        assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let (g, nf) = easy_gains(3);
+        let a = simulate(&cfg(true, 20), &g, &nf, 11);
+        let b = simulate(&cfg(true, 20), &g, &nf, 11);
+        assert_eq!(a.tx_times, b.tx_times);
+    }
+}

@@ -1,0 +1,141 @@
+//! Preamble-detection-based carrier sense — the §2.4 extension the paper
+//! describes but leaves unimplemented ("Wi-Fi receivers also use preamble
+//! detection as part of carrier sense, which we could also incorporate to
+//! improve noise resilience").
+//!
+//! Energy detection alone cannot tell a neighbor's packet from a loud
+//! in-band noise event (a boat, an anchor chain): it defers on both.
+//! Preamble-based sensing marks the channel busy only when the buffered
+//! audio actually contains a modem preamble, and holds the busy state for
+//! the expected packet airtime afterwards.
+
+use aqua_dsp::fir::{design_bandpass, StreamingFir};
+use aqua_dsp::window::Window;
+use aqua_phy::preamble::{detect, DetectorConfig, Preamble};
+
+/// Carrier sense that combines energy detection with preamble detection.
+pub struct PreambleCarrierSense {
+    preamble: Preamble,
+    detector: DetectorConfig,
+    front_end: StreamingFir,
+    /// Rolling window of band-passed audio, long enough to hold a preamble
+    /// plus slack.
+    window: Vec<f64>,
+    window_cap: usize,
+    /// Samples of "busy" remaining after a preamble was seen (the expected
+    /// packet airtime).
+    busy_hold: usize,
+    /// Airtime to hold busy after a preamble, in samples.
+    hold_samples: usize,
+}
+
+impl PreambleCarrierSense {
+    /// Creates a sensor. `packet_airtime_s` is the nominal duration of a
+    /// packet following a preamble (header remainder + gap + data).
+    pub fn new(preamble: Preamble, packet_airtime_s: f64) -> Self {
+        let params = *preamble.params();
+        let taps = design_bandpass(129, 850.0, 4150.0, params.fs, Window::Hamming);
+        let window_cap = preamble.len() * 2 + params.symbol_len();
+        Self {
+            preamble,
+            detector: DetectorConfig::default(),
+            front_end: StreamingFir::new(taps),
+            window: Vec::new(),
+            window_cap,
+            busy_hold: 0,
+            hold_samples: (packet_airtime_s * params.fs) as usize,
+        }
+    }
+
+    /// Feeds a block of microphone samples; returns `true` if a preamble
+    /// was newly detected in this block.
+    pub fn feed(&mut self, block: &[f64]) -> bool {
+        self.busy_hold = self.busy_hold.saturating_sub(block.len());
+        let filtered = self.front_end.process(block);
+        self.window.extend(filtered);
+        if self.window.len() > self.window_cap {
+            let drop = self.window.len() - self.window_cap;
+            self.window.drain(..drop);
+        }
+        if self.window.len() < self.preamble.len() {
+            return false;
+        }
+        if detect(&self.window, &self.preamble, &self.detector).is_some() {
+            self.busy_hold = self.hold_samples;
+            // consume the matched region so one preamble triggers once
+            self.window.clear();
+            self.front_end.reset();
+            return true;
+        }
+        false
+    }
+
+    /// Whether the channel is considered busy (a packet is in flight).
+    pub fn busy(&self) -> bool {
+        self.busy_hold > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_phy::params::OfdmParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noise(n: usize, rms: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                rms * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn preamble_triggers_busy_and_expires() {
+        let params = OfdmParams::default();
+        let preamble = Preamble::new(params);
+        let mut cs = PreambleCarrierSense::new(preamble.clone(), 0.3);
+        // feed noise: idle
+        for chunk in noise(9600, 0.01, 1).chunks(960) {
+            cs.feed(chunk);
+        }
+        assert!(!cs.busy());
+        // feed a preamble (attenuated, in noise)
+        let mut sig = noise(preamble.len() + 2000, 0.01, 2);
+        for (i, &s) in preamble.samples.iter().enumerate() {
+            sig[1000 + i] += s * 0.1;
+        }
+        let mut detected = false;
+        for chunk in sig.chunks(960) {
+            detected |= cs.feed(chunk);
+        }
+        assert!(detected, "preamble must be detected");
+        assert!(cs.busy(), "busy during the packet hold");
+        // after the hold time elapses: idle again
+        for chunk in noise(48_000, 0.01, 3).chunks(960) {
+            cs.feed(chunk);
+        }
+        assert!(!cs.busy(), "hold must expire");
+    }
+
+    #[test]
+    fn loud_non_modem_noise_does_not_defer() {
+        // The advantage over energy sensing: an in-band tone blast is NOT
+        // a packet and must not hold the channel busy.
+        let params = OfdmParams::default();
+        let preamble = Preamble::new(params);
+        let mut cs = PreambleCarrierSense::new(preamble, 0.3);
+        let blast: Vec<f64> = aqua_dsp::chirp::tone(2000.0, 48_000, 48_000.0)
+            .into_iter()
+            .map(|v| v * 0.5)
+            .collect();
+        for chunk in blast.chunks(960) {
+            cs.feed(chunk);
+        }
+        assert!(!cs.busy(), "tone blast must read idle under preamble sensing");
+    }
+}

@@ -1,0 +1,176 @@
+//! Doppler (time-scale) estimation from the preamble — an extension the
+//! paper argues is unnecessary for diver speeds (§2.3: ≈5 Hz shift vs
+//! 50 Hz spacing) but that the underwater-OFDM literature it cites uses
+//! routinely. Useful if the modem is ever pointed at faster platforms
+//! (kayaks, tow lines, AUVs).
+//!
+//! Method: the preamble is eight identical symbol cores. Under a constant
+//! relative speed `v`, the received copy is time-scaled by
+//! `a = 1 ± v/c`; consecutive cores arrive `n_fft·a` samples apart instead
+//! of `n_fft`. The estimator measures the inter-segment lag by parabolic
+//! interpolation of the cross-correlation peak between widely-spaced
+//! preamble segments, and [`compensate`] resamples by the inverse factor.
+
+use crate::params::OfdmParams;
+use crate::preamble::PN_SIGNS;
+use aqua_dsp::resample::resample_const;
+
+/// Estimated time-scale factor and diagnostic peak quality.
+#[derive(Debug, Clone, Copy)]
+pub struct DopplerEstimate {
+    /// Received-to-transmitted time-scale factor `a` (1.0 = no motion;
+    /// `a < 1` means compressed = approaching transmitter).
+    pub scale: f64,
+    /// Equivalent radial speed in m/s (positive = approaching) at sound
+    /// speed `c = 1500 m/s`.
+    pub speed_mps: f64,
+    /// Normalized correlation at the measured lag (quality, ≈1 good).
+    pub quality: f64,
+}
+
+/// Estimates the Doppler time-scale from an aligned received preamble
+/// (`rx[0]` = preamble start, at least 8 cores long).
+///
+/// Compares segment 1 against segment 5 (4 symbol periods apart — far
+/// enough for sub-sample lag growth to be measurable, both with the same
+/// PN sign product available). Returns `None` if the correlation peak is
+/// too weak to trust.
+pub fn estimate(params: &OfdmParams, rx: &[f64]) -> Option<DopplerEstimate> {
+    let n = params.n_fft;
+    // Use segments (1, 5): separated by 4 periods; both interior (away
+    // from channel edge transients).
+    let (i, j) = (1usize, 5usize);
+    // Only segments up to j (+ search margin) are needed; a time-compressed
+    // (approaching-transmitter) preamble is slightly shorter than nominal.
+    if rx.len() < (j + 1) * n + 40 {
+        return None;
+    }
+    let span = (j - i) * n;
+    let seg_i = &rx[i * n..(i + 1) * n];
+    // search ±max_lag around the nominal position of segment j
+    let max_lag = 32isize; // ±32 samples over 4 symbols ⇒ |v| ≤ 125 m/s
+    let sign = PN_SIGNS[i] * PN_SIGNS[j];
+    let mut best = (0isize, f64::NEG_INFINITY);
+    let mut corrs = vec![0.0; (2 * max_lag + 1) as usize];
+    for (idx, lag) in (-max_lag..=max_lag).enumerate() {
+        let start = (i as isize * n as isize + span as isize + lag) as usize;
+        if start + n > rx.len() {
+            continue;
+        }
+        let seg_j = &rx[start..start + n];
+        let dot: f64 = seg_i.iter().zip(seg_j).map(|(a, b)| a * b).sum::<f64>() * sign;
+        let e1: f64 = seg_i.iter().map(|v| v * v).sum();
+        let e2: f64 = seg_j.iter().map(|v| v * v).sum();
+        let c = dot / (e1 * e2).sqrt().max(1e-30);
+        corrs[idx] = c;
+        if c > best.1 {
+            best = (lag, c);
+        }
+    }
+    if best.1 < 0.2 {
+        return None;
+    }
+    // parabolic interpolation around the peak for sub-sample lag
+    let k = (best.0 + max_lag) as usize;
+    let frac = if k > 0 && k + 1 < corrs.len() {
+        let (a, b, c) = (corrs[k - 1], corrs[k], corrs[k + 1]);
+        let denom = a - 2.0 * b + c;
+        if denom.abs() > 1e-12 {
+            0.5 * (a - c) / denom
+        } else {
+            0.0
+        }
+    } else {
+        0.0
+    };
+    let lag = best.0 as f64 + frac.clamp(-1.0, 1.0);
+    let scale = 1.0 + lag / span as f64;
+    Some(DopplerEstimate {
+        scale,
+        speed_mps: -(scale - 1.0) * 1500.0,
+        quality: best.1,
+    })
+}
+
+/// Removes an estimated time-scale from a received buffer by resampling
+/// with the inverse factor.
+pub fn compensate(rx: &[f64], estimate: &DopplerEstimate) -> Vec<f64> {
+    resample_const(rx, estimate.scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preamble::Preamble;
+
+    fn preamble_scaled(params: &OfdmParams, scale: f64) -> Vec<f64> {
+        let p = Preamble::new(*params);
+        resample_const(&p.samples, scale)
+    }
+
+    #[test]
+    fn static_preamble_estimates_unity() {
+        let params = OfdmParams::default();
+        let p = Preamble::new(params);
+        let est = estimate(&params, &p.samples).expect("estimate");
+        assert!((est.scale - 1.0).abs() < 1e-4, "scale {}", est.scale);
+        assert!(est.speed_mps.abs() < 0.2);
+        assert!(est.quality > 0.9);
+    }
+
+    #[test]
+    fn recovers_injected_time_scale() {
+        let params = OfdmParams::default();
+        for (scale, tol_mps) in [(1.001, 0.6), (0.999, 0.6), (1.002, 1.0)] {
+            let rx = preamble_scaled(&params, scale);
+            let est = estimate(&params, &rx).expect("estimate");
+            let true_speed = -(1.0 / scale - 1.0) * 1500.0;
+            // the received signal is x(t·scale): the estimator sees 1/scale
+            assert!(
+                (est.speed_mps - true_speed).abs() < tol_mps,
+                "scale {scale}: est {} vs true {true_speed}",
+                est.speed_mps
+            );
+        }
+    }
+
+    #[test]
+    fn compensation_restores_detectability() {
+        let params = OfdmParams::default();
+        let p = Preamble::new(params);
+        // 2 m/s closing speed — the paper's worst case for two divers
+        let scale = 1.0 - 2.0 / 1500.0;
+        let rx = preamble_scaled(&params, scale);
+        let est = estimate(&params, &rx).expect("estimate");
+        let mut fixed = compensate(&rx, &est);
+        // resampling can shave a sample or two off the end
+        fixed.resize(p.len(), 0.0);
+        // after compensation, the sliding metric at offset 0 is high again
+        let m = crate::preamble::sliding_metric(&fixed, 0, &params);
+        assert!(m > 0.9, "post-compensation metric {m}");
+    }
+
+    #[test]
+    fn short_buffer_returns_none() {
+        let params = OfdmParams::default();
+        assert!(estimate(&params, &[0.0; 1000]).is_none());
+    }
+
+    #[test]
+    fn noise_returns_low_quality_or_none() {
+        let params = OfdmParams::default();
+        let mut s = 7u64;
+        let noise: Vec<f64> = (0..8 * params.n_fft)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s as f64 / u64::MAX as f64) - 0.5
+            })
+            .collect();
+        match estimate(&params, &noise) {
+            None => {}
+            Some(e) => assert!(e.quality < 0.5, "noise quality {}", e.quality),
+        }
+    }
+}

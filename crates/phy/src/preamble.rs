@@ -1,0 +1,376 @@
+//! Preamble construction and detection (§2.2.1).
+//!
+//! The preamble is eight identical CAZAC-filled OFDM symbol cores
+//! multiplied by the PN sign pattern `[-1,1,1,1,1,1,-1,1]`. Detection is
+//! two-stage: cheap normalized cross-correlation proposes candidates, then
+//! the normalized sliding segment correlation — whose peak height is
+//! SNR-insensitive and near zero for impulsive noise — accepts (≥ 0.6) or
+//! rejects (< 0.2 for noise) and refines symbol timing.
+
+use crate::params::OfdmParams;
+use crate::symbol::synthesize_core;
+use aqua_dsp::cazac::zadoff_chu;
+use aqua_dsp::complex::Complex;
+use aqua_dsp::correlate::{argmax, inner, xcorr_normalized};
+
+/// Number of OFDM symbols in the preamble.
+pub const PREAMBLE_SYMBOLS: usize = 8;
+/// PN sign pattern applied per preamble symbol (from the paper).
+pub const PN_SIGNS: [f64; PREAMBLE_SYMBOLS] = [-1.0, 1.0, 1.0, 1.0, 1.0, 1.0, -1.0, 1.0];
+
+/// A constructed preamble for a given numerology.
+#[derive(Debug, Clone)]
+pub struct Preamble {
+    params: OfdmParams,
+    /// Zadoff–Chu values loaded into the usable bins (amplitude-scaled).
+    pub bin_values: Vec<Complex>,
+    /// Time-domain preamble: `PREAMBLE_SYMBOLS × n_fft` samples.
+    pub samples: Vec<f64>,
+}
+
+impl Preamble {
+    /// Builds the preamble: ZC sequence over the full usable band at full
+    /// transmit power, eight cores concatenated with PN signs.
+    pub fn new(params: OfdmParams) -> Self {
+        let root = zc_root(params.num_bins);
+        let amp = params.bin_amplitude(params.num_bins);
+        let bin_values: Vec<Complex> = zadoff_chu(root, params.num_bins)
+            .into_iter()
+            .map(|c| c.scale(amp))
+            .collect();
+        let core = synthesize_core(&params, &bin_values);
+        let mut samples = Vec::with_capacity(PREAMBLE_SYMBOLS * params.n_fft);
+        for sign in PN_SIGNS {
+            samples.extend(core.iter().map(|&v| v * sign));
+        }
+        Self {
+            params,
+            bin_values,
+            samples,
+        }
+    }
+
+    /// Total preamble length in samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns true if the preamble is empty (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The numerology this preamble was built for.
+    pub fn params(&self) -> &OfdmParams {
+        &self.params
+    }
+
+    /// The transmitted bin value for preamble symbol `sym` and usable bin
+    /// `k` (ZC value times the PN sign).
+    pub fn tx_bin(&self, sym: usize, k: usize) -> Complex {
+        self.bin_values[k].scale(PN_SIGNS[sym])
+    }
+}
+
+/// Smallest Zadoff–Chu root coprime with `len`.
+fn zc_root(len: usize) -> usize {
+    (2..len).find(|&r| aqua_dsp::cazac::gcd(r, len) == 1).unwrap_or(1)
+}
+
+/// Detector thresholds and search parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// Normalized cross-correlation level that makes a sample a candidate.
+    pub coarse_threshold: f64,
+    /// Sliding-correlation metric required to accept a detection (paper:
+    /// real preambles exceed 0.6).
+    pub accept_threshold: f64,
+    /// Sliding-correlation search step in samples (paper: 8).
+    pub step: usize,
+    /// Maximum number of coarse candidates examined per buffer.
+    pub max_candidates: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            coarse_threshold: 0.08,
+            accept_threshold: 0.40,
+            step: 8,
+            max_candidates: 6,
+        }
+    }
+}
+
+/// A successful preamble detection.
+#[derive(Debug, Clone, Copy)]
+pub struct Detection {
+    /// Sample offset of the preamble start within the searched buffer.
+    pub offset: usize,
+    /// Sliding-correlation metric at the detection point (≈1 for clean
+    /// preambles, < 0.2 for noise).
+    pub metric: f64,
+    /// Peak normalized cross-correlation of the coarse stage.
+    pub coarse_corr: f64,
+}
+
+/// Normalized sliding segment correlation at a specific offset: divides the
+/// eight-symbol window into segments, removes the PN signs, correlates
+/// adjacent segments and normalizes by window energy. Returns ≈1 at a true
+/// preamble start regardless of SNR scale.
+pub fn sliding_metric(rx: &[f64], offset: usize, params: &OfdmParams) -> f64 {
+    let n = params.n_fft;
+    let need = PREAMBLE_SYMBOLS * n;
+    if offset + need > rx.len() {
+        return 0.0;
+    }
+    let seg = |i: usize| &rx[offset + i * n..offset + (i + 1) * n];
+    let mut corr = 0.0;
+    for i in 0..PREAMBLE_SYMBOLS - 1 {
+        corr += PN_SIGNS[i] * PN_SIGNS[i + 1] * inner(seg(i), seg(i + 1));
+    }
+    let energy: f64 = rx[offset..offset + need].iter().map(|v| v * v).sum();
+    if energy < 1e-30 {
+        return 0.0;
+    }
+    // 7 adjacent pairs vs 8 segments of energy: rescale so a clean
+    // preamble scores 1.0.
+    (corr / energy) * (PREAMBLE_SYMBOLS as f64 / (PREAMBLE_SYMBOLS - 1) as f64)
+}
+
+/// Rejects detections whose eight segments carry grossly unequal energy.
+///
+/// A true preamble (even through fading) puts comparable energy in every
+/// symbol; a *partially buffered* preamble against near-silence can still
+/// score a high sliding metric from its few matching segments, which this
+/// check catches. In noise the silent segments fill with noise energy, so
+/// genuine low-SNR detections are unaffected.
+fn segment_energies_uniform(rx: &[f64], offset: usize, params: &OfdmParams) -> bool {
+    let n = params.n_fft;
+    if offset + PREAMBLE_SYMBOLS * n > rx.len() {
+        return false;
+    }
+    let energies: Vec<f64> = (0..PREAMBLE_SYMBOLS)
+        .map(|i| {
+            rx[offset + i * n..offset + (i + 1) * n]
+                .iter()
+                .map(|v| v * v)
+                .sum()
+        })
+        .collect();
+    let mean: f64 = energies.iter().sum::<f64>() / PREAMBLE_SYMBOLS as f64;
+    let min = energies.iter().cloned().fold(f64::INFINITY, f64::min);
+    min > 0.15 * mean
+}
+
+/// Two-stage preamble detection over a buffer. Returns the best accepted
+/// detection, or `None`.
+pub fn detect(rx: &[f64], preamble: &Preamble, cfg: &DetectorConfig) -> Option<Detection> {
+    let params = &preamble.params;
+    if rx.len() < preamble.len() {
+        return None;
+    }
+    // Stage 1: coarse normalized cross-correlation.
+    let corr = xcorr_normalized(rx, &preamble.samples);
+    let mut candidates: Vec<(usize, f64)> = Vec::new();
+    // local maxima above threshold, separated by at least one symbol
+    let guard = params.n_fft;
+    let mut i = 0;
+    while i < corr.len() {
+        if corr[i].abs() >= cfg.coarse_threshold {
+            // find the local peak within the next symbol
+            let end = (i + guard).min(corr.len());
+            let local = &corr[i..end];
+            let peak_rel = argmax(&local.iter().map(|v| v.abs()).collect::<Vec<_>>()).unwrap();
+            candidates.push((i + peak_rel, corr[i + peak_rel].abs()));
+            i += guard;
+        } else {
+            i += 1;
+        }
+    }
+    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    candidates.truncate(cfg.max_candidates);
+
+    // Stage 2: sliding correlation around each candidate (step `cfg.step`,
+    // then refine to single-sample resolution).
+    let mut accepted: Vec<Detection> = Vec::new();
+    for (cand, coarse) in candidates {
+        let lo = cand.saturating_sub(params.n_fft / 2);
+        let hi = (cand + params.n_fft / 2).min(rx.len().saturating_sub(preamble.len()));
+        let mut local_best = (0usize, f64::NEG_INFINITY);
+        let mut pos = lo;
+        while pos <= hi {
+            let m = sliding_metric(rx, pos, params);
+            if m > local_best.1 {
+                local_best = (pos, m);
+            }
+            pos += cfg.step;
+        }
+        // refine ±step at single-sample resolution
+        let refine_lo = local_best.0.saturating_sub(cfg.step);
+        let refine_hi = (local_best.0 + cfg.step).min(hi);
+        for p in refine_lo..=refine_hi {
+            let m = sliding_metric(rx, p, params);
+            if m > local_best.1 {
+                local_best = (p, m);
+            }
+        }
+        if local_best.1 >= cfg.accept_threshold
+            && segment_energies_uniform(rx, local_best.0, params)
+        {
+            accepted.push(Detection {
+                offset: local_best.0,
+                metric: local_best.1,
+                coarse_corr: coarse,
+            });
+        }
+    }
+    // A strong far reflector delivers a *clean delayed copy* of the
+    // preamble that can out-score the first arrival; synchronizing to the
+    // echo turns the direct path into pre-cursor ISI. Take the earliest
+    // acceptable arrival whose metric is within 75 % of the best.
+    let best_metric = accepted.iter().map(|d| d.metric).fold(f64::NEG_INFINITY, f64::max);
+    accepted
+        .into_iter()
+        .filter(|d| d.metric >= 0.75 * best_metric)
+        .min_by_key(|d| d.offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noise(n: usize, rms: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                rms * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn preamble_has_expected_length_and_sign_pattern() {
+        let p = Preamble::new(OfdmParams::default());
+        assert_eq!(p.len(), 8 * 960);
+        // symbols 0 and 6 are negated copies of symbol 1
+        let n = 960;
+        for j in 0..n {
+            assert!((p.samples[j] + p.samples[n + j]).abs() < 1e-12);
+            assert!((p.samples[6 * n + j] + p.samples[n + j]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sliding_metric_is_one_at_true_offset() {
+        let p = Preamble::new(OfdmParams::default());
+        let mut rx = vec![0.0; 2000];
+        rx.extend_from_slice(&p.samples);
+        rx.extend(vec![0.0; 2000]);
+        let m = sliding_metric(&rx, 2000, p.params());
+        assert!((m - 1.0).abs() < 1e-9, "metric {m}");
+    }
+
+    #[test]
+    fn detects_clean_preamble_at_exact_offset() {
+        let p = Preamble::new(OfdmParams::default());
+        let mut rx = noise(3000, 0.001, 1);
+        rx.extend_from_slice(&p.samples);
+        rx.extend(noise(3000, 0.001, 2));
+        let det = detect(&rx, &p, &DetectorConfig::default()).expect("detection");
+        assert_eq!(det.offset, 3000);
+        assert!(det.metric > 0.9);
+    }
+
+    #[test]
+    fn detects_preamble_in_heavy_noise() {
+        // preamble rms is target_rms=0.2; noise rms 0.1 => +6 dB wideband
+        // SNR (the sliding metric's theoretical value is 1/(1+N/S) ≈ 0.8,
+        // comfortably above the 0.5 accept threshold; at 0 dB it sits at
+        // exactly 0.5, the detector's design limit)
+        let p = Preamble::new(OfdmParams::default());
+        let mut rx = noise(1000 + p.len() + 4000, 0.1, 3);
+        for (i, &s) in p.samples.iter().enumerate() {
+            rx[1000 + i] += s;
+        }
+        let det = detect(&rx, &p, &DetectorConfig::default()).expect("detection at 0 dB");
+        assert!(
+            det.offset.abs_diff(1000) <= 4,
+            "offset {} (expected ≈1000)",
+            det.offset
+        );
+    }
+
+    #[test]
+    fn rejects_pure_noise() {
+        let p = Preamble::new(OfdmParams::default());
+        let rx = noise(20000, 0.3, 4);
+        assert!(detect(&rx, &p, &DetectorConfig::default()).is_none());
+    }
+
+    #[test]
+    fn rejects_impulsive_bursts() {
+        // Spiky noise can fool raw cross-correlation; the sliding metric
+        // must stay below the accept threshold.
+        let p = Preamble::new(OfdmParams::default());
+        let mut rx = noise(20000, 0.01, 5);
+        for burst in 0..10 {
+            let pos = 1500 + burst * 1700;
+            for i in 0..60 {
+                rx[pos + i] += 3.0 * ((-(i as f64)) / 15.0).exp() * if i % 2 == 0 { 1.0 } else { -1.0 };
+            }
+        }
+        assert!(detect(&rx, &p, &DetectorConfig::default()).is_none());
+    }
+
+    #[test]
+    fn detects_attenuated_preamble() {
+        let p = Preamble::new(OfdmParams::default());
+        let mut rx = noise(30000, 0.0005, 6);
+        for (i, &s) in p.samples.iter().enumerate() {
+            rx[12000 + i] += s * 0.01; // 40 dB below full scale
+        }
+        let det = detect(&rx, &p, &DetectorConfig::default()).expect("weak preamble");
+        assert!(det.offset.abs_diff(12000) <= 4);
+    }
+
+    #[test]
+    fn metric_of_noise_is_low() {
+        let p = Preamble::new(OfdmParams::default());
+        let rx = noise(20000, 0.5, 7);
+        let mut worst: f64 = 0.0;
+        let mut pos = 0;
+        while pos + p.len() <= rx.len() {
+            worst = worst.max(sliding_metric(&rx, pos, p.params()));
+            pos += 64;
+        }
+        assert!(worst < 0.2, "noise metric reached {worst}");
+    }
+
+    #[test]
+    fn short_buffer_returns_none() {
+        let p = Preamble::new(OfdmParams::default());
+        assert!(detect(&[0.0; 100], &p, &DetectorConfig::default()).is_none());
+    }
+
+    #[test]
+    fn partial_preamble_in_quiet_water_is_not_accepted() {
+        // Only the first 3 of 8 symbols have arrived: the self-similarity
+        // of the repeated cores must not produce a (wrong) detection.
+        let p = Preamble::new(OfdmParams::default());
+        let mut rx = noise(9000, 0.0005, 11);
+        let partial = &p.samples[..3 * 960];
+        let pos = rx.len() - partial.len();
+        for (i, &s) in partial.iter().enumerate() {
+            rx[pos + i] += s;
+        }
+        assert!(
+            detect(&rx, &p, &DetectorConfig::default()).is_none(),
+            "partial preamble must be rejected until fully buffered"
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! # aqua-proto
+//!
+//! The messaging layer of AquaApp: the 240-message diver hand-signal
+//! codebook in eight categories ([`messages`]), and the on-air packet
+//! formats ([`packet`]) — 16-bit two-signal message packets and FSK SOS
+//! beacons with 6-bit user IDs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod messages;
+pub mod packet;
+
+pub use messages::{by_category, by_id, codebook, common_messages, Category, Message};
+pub use packet::{MessagePacket, SosBeacon};

@@ -1,0 +1,214 @@
+//! App-layer packet formats.
+//!
+//! A data packet carries 16 bits = two message IDs ("users can choose to
+//! send two hand signals in a single packet", §3). The SOS beacon carries a
+//! 6-bit user ID over the FSK modem, optionally followed by an 8-bit hand
+//! signal ("transmitted in around a second", §3).
+
+use crate::messages::MESSAGE_COUNT;
+use aqua_coding::bits::{bits_to_value, value_to_bits};
+
+/// A 16-bit message packet: up to two hand-signal message IDs. The second
+/// slot uses [`NO_MESSAGE`] when only one signal is sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessagePacket {
+    /// First message ID.
+    pub first: u8,
+    /// Optional second message ID.
+    pub second: Option<u8>,
+}
+
+/// Sentinel for an empty second slot (outside the 240-message space).
+pub const NO_MESSAGE: u8 = 0xFF;
+
+impl MessagePacket {
+    /// Creates a single-message packet.
+    pub fn single(id: u8) -> Self {
+        assert!((id as usize) < MESSAGE_COUNT);
+        Self {
+            first: id,
+            second: None,
+        }
+    }
+
+    /// Creates a two-message packet.
+    pub fn pair(first: u8, second: u8) -> Self {
+        assert!((first as usize) < MESSAGE_COUNT && (second as usize) < MESSAGE_COUNT);
+        Self {
+            first,
+            second: Some(second),
+        }
+    }
+
+    /// Serializes to the 16 payload bits (MSB first).
+    pub fn to_bits(self) -> Vec<u8> {
+        let second = self.second.unwrap_or(NO_MESSAGE);
+        let value = ((self.first as u64) << 8) | second as u64;
+        value_to_bits(value, 16)
+    }
+
+    /// Parses 16 payload bits. Returns `None` if the first slot is not a
+    /// valid message ID (decode error surfaced to the app).
+    pub fn from_bits(bits: &[u8]) -> Option<Self> {
+        if bits.len() != 16 {
+            return None;
+        }
+        let value = bits_to_value(bits);
+        let first = (value >> 8) as u8;
+        let second = (value & 0xFF) as u8;
+        if first as usize >= MESSAGE_COUNT {
+            return None;
+        }
+        Some(Self {
+            first,
+            second: (second != NO_MESSAGE && (second as usize) < MESSAGE_COUNT)
+                .then_some(second),
+        })
+    }
+}
+
+/// SOS beacon payload: 6-bit user ID, optionally followed by an 8-bit hand
+/// signal, framed by a fixed sync pattern for frame alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SosBeacon {
+    /// 6-bit user ID (0..64).
+    pub user_id: u8,
+    /// Optional hand-signal message attached to the beacon.
+    pub signal: Option<u8>,
+}
+
+/// Sync pattern prepended to every beacon (8 bits, good autocorrelation).
+pub const SOS_SYNC: [u8; 8] = [1, 0, 1, 1, 0, 0, 1, 0];
+
+impl SosBeacon {
+    /// Creates a beacon with just a user ID.
+    pub fn id_only(user_id: u8) -> Self {
+        assert!(user_id < 64, "user ID is 6 bits");
+        Self {
+            user_id,
+            signal: None,
+        }
+    }
+
+    /// Creates a beacon carrying a hand signal.
+    pub fn with_signal(user_id: u8, signal: u8) -> Self {
+        assert!(user_id < 64 && (signal as usize) < MESSAGE_COUNT);
+        Self {
+            user_id,
+            signal: Some(signal),
+        }
+    }
+
+    /// Serializes to bits: sync + flag(1) + id(6) + [signal(8)].
+    pub fn to_bits(self) -> Vec<u8> {
+        let mut bits = SOS_SYNC.to_vec();
+        bits.push(self.signal.is_some() as u8);
+        bits.extend(value_to_bits(self.user_id as u64, 6));
+        if let Some(s) = self.signal {
+            bits.extend(value_to_bits(s as u64, 8));
+        }
+        bits
+    }
+
+    /// Parses a beacon from bits starting at the sync pattern. Returns the
+    /// beacon and the number of bits consumed.
+    pub fn from_bits(bits: &[u8]) -> Option<(Self, usize)> {
+        if bits.len() < SOS_SYNC.len() + 7 {
+            return None;
+        }
+        if bits[..8] != SOS_SYNC {
+            return None;
+        }
+        let has_signal = bits[8] == 1;
+        let user_id = bits_to_value(&bits[9..15]) as u8;
+        if has_signal {
+            if bits.len() < 23 {
+                return None;
+            }
+            let signal = bits_to_value(&bits[15..23]) as u8;
+            if signal as usize >= MESSAGE_COUNT {
+                return None;
+            }
+            Some((Self::with_signal(user_id, signal), 23))
+        } else {
+            Some((Self::id_only(user_id), 15))
+        }
+    }
+
+    /// Transmission time in seconds at a given beacon bit rate.
+    pub fn duration_s(&self, bps: f64) -> f64 {
+        self.to_bits().len() as f64 / bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_packet_roundtrip() {
+        for pkt in [
+            MessagePacket::single(0),
+            MessagePacket::single(239),
+            MessagePacket::pair(17, 203),
+            MessagePacket::pair(239, 0),
+        ] {
+            let bits = pkt.to_bits();
+            assert_eq!(bits.len(), 16);
+            assert_eq!(MessagePacket::from_bits(&bits), Some(pkt));
+        }
+    }
+
+    #[test]
+    fn invalid_first_id_rejected() {
+        let bits = value_to_bits(0xF0FF, 16); // first = 240 (out of range)
+        assert_eq!(MessagePacket::from_bits(&bits), None);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert_eq!(MessagePacket::from_bits(&[0; 8]), None);
+    }
+
+    #[test]
+    fn sos_roundtrip_id_only() {
+        let b = SosBeacon::id_only(42);
+        let bits = b.to_bits();
+        assert_eq!(bits.len(), 15);
+        let (parsed, used) = SosBeacon::from_bits(&bits).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(used, 15);
+    }
+
+    #[test]
+    fn sos_roundtrip_with_signal() {
+        let b = SosBeacon::with_signal(63, 199);
+        let bits = b.to_bits();
+        assert_eq!(bits.len(), 23);
+        let (parsed, used) = SosBeacon::from_bits(&bits).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(used, 23);
+    }
+
+    #[test]
+    fn sos_rejects_bad_sync() {
+        let mut bits = SosBeacon::id_only(1).to_bits();
+        bits[0] ^= 1;
+        assert!(SosBeacon::from_bits(&bits).is_none());
+    }
+
+    #[test]
+    fn sos_duration_at_10bps_is_about_a_second() {
+        // The paper: an 8-bit hand signal at these rates sends "in around a
+        // second" (23 bits at 10 bps = 2.3 s full frame; the signal part
+        // alone is 0.8 s; ID-only beacons are 1.5 s).
+        let b = SosBeacon::id_only(5);
+        assert!((b.duration_s(10.0) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "6 bits")]
+    fn oversized_user_id_panics() {
+        let _ = SosBeacon::id_only(64);
+    }
+}

@@ -1,0 +1,90 @@
+//! A scripted recreational dive: two buddies exchange hand signals while
+//! drifting apart, with the band adaptation reacting to distance and
+//! motion — the workload the paper's introduction motivates.
+//!
+//! ```sh
+//! cargo run --release --example dive_messenger
+//! ```
+
+use aqua_channel::environments::{Environment, Site};
+use aqua_channel::geometry::Pos;
+use aqua_channel::mobility::Trajectory;
+use aqua_proto::messages;
+use aqua_proto::packet::MessagePacket;
+use aquapp::trial::Scheme;
+use aquapp::Messenger;
+
+/// One step of the dive script.
+struct Step {
+    from_alice: bool,
+    text: &'static str,
+    distance_m: f64,
+    moving: bool,
+}
+
+fn main() {
+    println!("=== Dive log: Museum dock, buddy pair, depth 2 m ===\n");
+    let env = Environment::preset(Site::Museum);
+    let mut messenger = Messenger::new(env, 7);
+
+    let script = [
+        Step { from_alice: true, text: "Buddy check", distance_m: 3.0, moving: false },
+        Step { from_alice: false, text: "I am OK", distance_m: 3.0, moving: false },
+        Step { from_alice: true, text: "Follow me", distance_m: 5.0, moving: true },
+        Step { from_alice: false, text: "Slow down", distance_m: 12.0, moving: true },
+        Step { from_alice: true, text: "Look", distance_m: 12.0, moving: false },
+        Step { from_alice: true, text: "Turtle", distance_m: 12.0, moving: false },
+        Step { from_alice: false, text: "Take a photo", distance_m: 8.0, moving: true },
+        Step { from_alice: true, text: "Half tank", distance_m: 8.0, moving: false },
+        Step { from_alice: false, text: "Turn the dive", distance_m: 8.0, moving: false },
+        Step { from_alice: true, text: "End of dive", distance_m: 4.0, moving: false },
+    ];
+
+    let book = messages::codebook();
+    let mut delivered = 0usize;
+    for (i, step) in script.iter().enumerate() {
+        let msg = book.iter().find(|m| m.text == step.text).expect("message in codebook");
+        let (tx, rx) = positions(step.distance_m, step.from_alice);
+        let who = if step.from_alice { "Alice" } else { "Bob  " };
+        let traj = step.moving.then(|| Trajectory::slow(tx, 100 + i as u64));
+        let outcome = messenger.send_with(
+            tx,
+            rx,
+            MessagePacket::single(msg.id),
+            Scheme::Adaptive,
+            traj,
+            None,
+        );
+        let t = &outcome.trial;
+        let status = if t.packet_ok { "delivered" } else { "LOST" };
+        let band_info = t
+            .band
+            .map(|b| format!("{} bins, {:.0} bps", b.len(), t.coded_bitrate_bps))
+            .unwrap_or_else(|| "no band".into());
+        println!(
+            "[{:>2}] {who} @ {:>4.1} m{}: {:<18} -> {status} ({band_info})",
+            i + 1,
+            step.distance_m,
+            if step.moving { " (moving)" } else { "        " },
+            format!("{:?}", step.text),
+        );
+        if t.packet_ok {
+            delivered += 1;
+        }
+    }
+    println!(
+        "\n{delivered}/{} messages delivered ({}% PDR)",
+        script.len(),
+        delivered * 100 / script.len()
+    );
+}
+
+fn positions(distance: f64, from_alice: bool) -> (Pos, Pos) {
+    let a = Pos::new(0.0, 0.0, 2.0);
+    let b = Pos::new(distance, 0.0, 2.0);
+    if from_alice {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}

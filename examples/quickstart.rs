@@ -1,0 +1,56 @@
+//! Quickstart: two phones, ten meters of lake water, one exchange.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use aqua_channel::environments::{Environment, Site};
+use aqua_channel::geometry::Pos;
+use aqua_proto::messages;
+use aqua_proto::packet::MessagePacket;
+use aquapp::Messenger;
+
+fn main() {
+    println!("AquaModem quickstart — underwater messaging between two phones\n");
+
+    let env = Environment::preset(Site::Lake);
+    let mut messenger = Messenger::new(env, 42);
+
+    let alice = Pos::new(0.0, 0.0, 1.0);
+    let bob = Pos::new(10.0, 0.0, 1.0);
+
+    // Look up "Are you OK?" in the hand-signal codebook.
+    let ask = messages::codebook()
+        .into_iter()
+        .find(|m| m.text == "Are you OK?")
+        .expect("codebook message");
+    println!("Alice -> Bob (10 m apart, 1 m deep): {:?}", ask.text);
+
+    let outcome = messenger.send(alice, bob, MessagePacket::single(ask.id));
+    report(&outcome);
+
+    // Bob replies with two signals in one 16-bit packet.
+    let ok = messages::codebook().into_iter().find(|m| m.text == "I am OK").unwrap();
+    let up = messages::codebook().into_iter().find(|m| m.text == "Go up").unwrap();
+    println!("\nBob -> Alice: {:?} + {:?}", ok.text, up.text);
+    let outcome = messenger.send(bob, alice, MessagePacket::pair(ok.id, up.id));
+    report(&outcome);
+}
+
+fn report(outcome: &aquapp::SendOutcome) {
+    let t = &outcome.trial;
+    println!("  preamble detected: {}", t.preamble_detected);
+    if let Some(band) = t.band {
+        println!(
+            "  band selected:     bins {}..{} ({} bins -> {:.0} bps coded)",
+            band.start,
+            band.end,
+            band.len(),
+            t.coded_bitrate_bps
+        );
+    }
+    println!("  packet decoded:    {}", t.packet_ok);
+    for m in &outcome.received {
+        println!("  received message:  [{:?}] {}", m.category, m.text);
+    }
+}

@@ -1,0 +1,69 @@
+//! Site survey: sound every environment preset and print what a dive
+//! planner would want — noise level, channel flatness, and the bitrate the
+//! adaptive modem actually achieves at a few distances.
+//!
+//! ```sh
+//! cargo run --release --example site_survey
+//! ```
+
+use aqua_channel::environments::{Environment, Site};
+use aqua_channel::geometry::Pos;
+use aqua_channel::link::{Link, LinkConfig};
+use aquapp::trial::{run_trial, TrialConfig};
+
+fn main() {
+    println!("AquaModem site survey\n");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "site", "noise rms", "swing dB", "5 m bps", "15 m bps", "25 m bps"
+    );
+    for site in Site::UNDERWATER {
+        let env = Environment::preset(site);
+        // channel flatness at 10 m
+        let mut cfg = LinkConfig::s9_pair(
+            env.clone(),
+            Pos::new(0.0, 0.0, 1.0),
+            Pos::new(10.0, 0.0, 1.0),
+            5,
+        );
+        cfg.noise = false;
+        let mut link = Link::new(cfg);
+        let freqs: Vec<f64> = (20..80).map(|k| k as f64 * 50.0).collect();
+        let resp = link.frequency_response_db(&freqs, 0.0);
+        let swing = resp.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - resp.iter().cloned().fold(f64::INFINITY, f64::min);
+
+        // achieved bitrate at three distances (median of 3 packets)
+        let mut rates = Vec::new();
+        for dist in [5.0, 15.0, 25.0] {
+            let mut vals = Vec::new();
+            for seed in 0..3u64 {
+                let cfg = TrialConfig::standard(
+                    env.clone(),
+                    Pos::new(0.0, 0.0, 1.0),
+                    Pos::new(dist, 0.0, 1.0),
+                    800 + seed,
+                );
+                let r = run_trial(&cfg);
+                if r.packet_ok {
+                    vals.push(r.coded_bitrate_bps);
+                }
+            }
+            rates.push(if vals.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.0}", aqua_dsp::stats::median(&vals))
+            });
+        }
+        println!(
+            "{:<8} {:>10.4} {:>10.1} {:>12} {:>12} {:>12}",
+            format!("{site:?}"),
+            env.noise.rms,
+            swing,
+            rates[0],
+            rates[1],
+            rates[2]
+        );
+    }
+    println!("\n(swing = max-min channel gain across 1-4 kHz at 10 m; bps = median coded bitrate)");
+}

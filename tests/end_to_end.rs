@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: the full stack (proto → phy → channel →
+//! phy → proto) exercised the way the app would.
+
+use aqua_channel::device::CaseKind;
+use aqua_channel::environments::{Environment, Site};
+use aqua_channel::geometry::Pos;
+use aqua_channel::link::{Link, LinkConfig};
+use aqua_channel::mobility::Trajectory;
+use aqua_proto::messages;
+use aqua_proto::packet::{MessagePacket, SosBeacon};
+use aqua_phy::fsk::{demodulate, modulate, FskParams};
+use aquapp::trial::{run_trial, Scheme, TrialConfig};
+use aquapp::Messenger;
+
+#[test]
+fn hand_signal_exchange_in_every_shallow_site() {
+    for site in [Site::Bridge, Site::Park, Site::Lake, Site::Beach] {
+        let mut messenger = Messenger::new(Environment::preset(site), 31);
+        let msg = messages::common_messages()[0];
+        let out = messenger.send(
+            Pos::new(0.0, 0.0, 1.0),
+            Pos::new(5.0, 0.0, 1.0),
+            MessagePacket::single(msg.id),
+        );
+        assert!(
+            out.trial.preamble_detected,
+            "{site:?}: preamble lost at 5 m"
+        );
+        assert!(out.trial.packet_ok, "{site:?}: packet lost at 5 m");
+        assert_eq!(out.received[0].id, msg.id, "{site:?}");
+    }
+}
+
+#[test]
+fn two_signals_per_packet_roundtrip_through_water() {
+    let mut messenger = Messenger::new(Environment::preset(Site::Bridge), 5);
+    let pair = MessagePacket::pair(11, 222);
+    let out = messenger.send(Pos::new(0.0, 0.0, 1.0), Pos::new(8.0, 0.0, 1.0), pair);
+    assert!(out.trial.packet_ok);
+    assert_eq!(out.received.len(), 2);
+    assert_eq!((out.received[0].id, out.received[1].id), (11, 222));
+}
+
+#[test]
+fn adaptive_beats_fixed_full_band_at_range() {
+    // Fig. 12c's core claim at one operating point: 25 m in the lake.
+    let mut adaptive_fail = 0;
+    let mut fixed_fail = 0;
+    for seed in 0..4u64 {
+        let mut cfg = TrialConfig::standard(
+            Environment::preset(Site::Lake),
+            Pos::new(0.0, 0.0, 1.0),
+            Pos::new(25.0, 0.0, 1.0),
+            600 + seed,
+        );
+        if !run_trial(&cfg).packet_ok {
+            adaptive_fail += 1;
+        }
+        cfg.scheme = Scheme::Fixed(aqua_phy::bandselect::Band::new(0, 59));
+        if !run_trial(&cfg).packet_ok {
+            fixed_fail += 1;
+        }
+    }
+    assert!(
+        adaptive_fail <= fixed_fail,
+        "adaptive {adaptive_fail}/4 vs fixed {fixed_fail}/4 failures"
+    );
+}
+
+#[test]
+fn sos_beacon_survives_100m() {
+    // 5 bps is the paper's longest-range beacon rate; at 100 m the 10/20
+    // bps rates already sit near their BER cliff (Fig. 12d).
+    let beacon = SosBeacon::id_only(42);
+    let bits = beacon.to_bits();
+    let params = FskParams::bps5();
+    let tx = modulate(&params, &bits);
+    let mut link = Link::new(LinkConfig::s9_pair(
+        Environment::preset(Site::Beach),
+        Pos::new(0.0, 0.0, 1.0),
+        Pos::new(100.0, 0.0, 1.0),
+        77,
+    ));
+    let rx = link.transmit(&tx, 0.0);
+    let delay = (100.0 / 1500.0 * params.fs) as usize;
+    let decoded = demodulate(&params, &rx, delay, bits.len());
+    let (parsed, _) = SosBeacon::from_bits(&decoded).expect("beacon frame");
+    assert_eq!(parsed, beacon);
+}
+
+#[test]
+fn deep_water_hard_case_link_works() {
+    // The Fig. 11 configuration: 12 m deep in the bay, hard cases.
+    let mut cfg = TrialConfig::standard(
+        Environment::preset(Site::Bay),
+        Pos::new(0.0, 0.0, 12.0),
+        Pos::new(3.5, 0.0, 12.0),
+        901,
+    );
+    cfg.alice_device.case = CaseKind::HardCase;
+    cfg.bob_device.case = CaseKind::HardCase;
+    let r = run_trial(&cfg);
+    assert!(r.preamble_detected, "preamble at 12 m depth");
+    assert!(r.packet_ok, "decode at 12 m depth (coded BER {})", r.coded_ber);
+}
+
+#[test]
+fn motion_degrades_gracefully_not_catastrophically() {
+    let mut ok = 0;
+    let n = 4;
+    for seed in 0..n {
+        let mut cfg = TrialConfig::standard(
+            Environment::preset(Site::Lake),
+            Pos::new(0.0, 0.0, 1.0),
+            Pos::new(5.0, 0.0, 1.0),
+            700 + seed,
+        );
+        cfg.alice_traj = Trajectory::fast(Pos::new(0.0, 0.0, 1.0), seed);
+        if run_trial(&cfg).packet_ok {
+            ok += 1;
+        }
+    }
+    assert!(ok >= n / 2, "only {ok}/{n} packets under fast motion");
+}
+
+#[test]
+fn stale_band_is_riskier_than_fresh_feedback_under_motion() {
+    // The ablation behind the post-preamble feedback design.
+    let stale = aqua_phy::bandselect::Band::new(40, 59); // plausible but unrefreshed
+    let mut stale_ber = 0.0;
+    let mut fresh_ber = 0.0;
+    for seed in 0..3u64 {
+        let mut cfg = TrialConfig::standard(
+            Environment::preset(Site::Lake),
+            Pos::new(0.0, 0.0, 1.0),
+            Pos::new(10.0, 0.0, 1.0),
+            800 + seed,
+        );
+        cfg.alice_traj = Trajectory::fast(Pos::new(0.0, 0.0, 1.0), 5 + seed);
+        fresh_ber += run_trial(&cfg).coded_ber;
+        cfg.scheme = Scheme::Stale(stale);
+        stale_ber += run_trial(&cfg).coded_ber;
+    }
+    assert!(
+        fresh_ber <= stale_ber + 0.05,
+        "fresh {fresh_ber} vs stale {stale_ber}"
+    );
+}
