@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the AquaModem workspace: formatting, release build, tests,
+# docs, and compile checks for examples and benches. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "==> cargo build --examples"
+cargo build --examples
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
+echo "CI green."

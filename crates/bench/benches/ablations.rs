@@ -120,7 +120,11 @@ fn ablation_interleaver(c: &mut Criterion) {
                 .iter()
                 .map(|s| s.iter().map(|x| x.unwrap_or(0)).collect())
                 .collect();
-            black_box(aqua_coding::interleave::deinterleave(&dense, 60, bits.len()))
+            black_box(aqua_coding::interleave::deinterleave(
+                &dense,
+                60,
+                bits.len(),
+            ))
         })
     });
     group.finish();

@@ -8,13 +8,13 @@ use std::hint::black_box;
 
 use aqua_coding::conv::{encode as conv_encode, Rate};
 use aqua_coding::viterbi::decode_soft;
+use aqua_phy::bandselect::Band;
 use aqua_phy::bandselect::{select_band, BandSelectConfig};
 use aqua_phy::chanest::estimate;
 use aqua_phy::equalizer::{design_fd, DEFAULT_EQ_LEN};
 use aqua_phy::feedback::{decode_feedback, encode_feedback};
 use aqua_phy::params::OfdmParams;
 use aqua_phy::preamble::{detect, DetectorConfig, Preamble};
-use aqua_phy::bandselect::Band;
 
 fn fft_960(c: &mut Criterion) {
     let plan = aqua_dsp::fft::Fft::new(960);
@@ -46,7 +46,13 @@ fn preamble_pipeline(c: &mut Criterion) {
         *v += ((s as f64 / u64::MAX as f64) - 0.5) * 0.02;
     }
     c.bench_function("preamble_detect_0.33s_buffer", |b| {
-        b.iter(|| black_box(detect(black_box(&rx), &preamble, &DetectorConfig::default())))
+        b.iter(|| {
+            black_box(detect(
+                black_box(&rx),
+                &preamble,
+                &DetectorConfig::default(),
+            ))
+        })
     });
 
     let aligned = &rx[4000..4000 + preamble.len()];
@@ -56,7 +62,12 @@ fn preamble_pipeline(c: &mut Criterion) {
 
     let est = estimate(&params, &preamble, aligned);
     c.bench_function("band_selection_60_bins", |b| {
-        b.iter(|| black_box(select_band(black_box(&est.snr_db), &BandSelectConfig::default())))
+        b.iter(|| {
+            black_box(select_band(
+                black_box(&est.snr_db),
+                &BandSelectConfig::default(),
+            ))
+        })
     });
 }
 
@@ -88,7 +99,10 @@ fn decoder_pipeline(c: &mut Criterion) {
     });
 
     let data = conv_encode(&vec![1u8; 16], Rate::TwoThirds);
-    let soft: Vec<f64> = data.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+    let soft: Vec<f64> = data
+        .iter()
+        .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+        .collect();
     c.bench_function("viterbi_24_coded_bits", |b| {
         b.iter(|| black_box(decode_soft(black_box(&soft), Rate::TwoThirds)))
     });

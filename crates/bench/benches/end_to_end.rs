@@ -11,27 +11,31 @@ use aqua_channel::geometry::Pos;
 use aqua_channel::link::{Link, LinkConfig};
 use aqua_channel::mobility::Trajectory;
 use aqua_mac::netsim::{simulate, MacConfig};
+use aqua_phy::bandselect::Band;
 use aqua_phy::fsk::{demodulate, modulate, FskParams};
 use aquapp::trial::{run_trial, Scheme, TrialConfig};
-use aqua_phy::bandselect::Band;
 
 fn fig9_environments(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_packet_exchange");
     group.sample_size(10);
     for site in [Site::Bridge, Site::Park, Site::Lake] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{site:?}")), &site, |b, &site| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let cfg = TrialConfig::standard(
-                    Environment::preset(site),
-                    Pos::new(0.0, 0.0, 1.0),
-                    Pos::new(5.0, 0.0, 1.0),
-                    seed,
-                );
-                black_box(run_trial(&cfg))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{site:?}")),
+            &site,
+            |b, &site| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let cfg = TrialConfig::standard(
+                        Environment::preset(site),
+                        Pos::new(0.0, 0.0, 1.0),
+                        Pos::new(5.0, 0.0, 1.0),
+                        seed,
+                    );
+                    black_box(run_trial(&cfg))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -40,19 +44,23 @@ fn fig12_range(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_range_lake");
     group.sample_size(10);
     for dist in [5.0_f64, 15.0, 30.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{dist}m")), &dist, |b, &dist| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let cfg = TrialConfig::standard(
-                    Environment::preset(Site::Lake),
-                    Pos::new(0.0, 0.0, 1.0),
-                    Pos::new(dist, 0.0, 1.0),
-                    seed,
-                );
-                black_box(run_trial(&cfg))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dist}m")),
+            &dist,
+            |b, &dist| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let cfg = TrialConfig::standard(
+                        Environment::preset(Site::Lake),
+                        Pos::new(0.0, 0.0, 1.0),
+                        Pos::new(dist, 0.0, 1.0),
+                        seed,
+                    );
+                    black_box(run_trial(&cfg))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -158,9 +158,7 @@ impl Device {
         let base = -self.case.mean_attenuation_db()
             + match self.case {
                 CaseKind::None => 0.0,
-                CaseKind::SoftPouch => {
-                    ripple_db(0xCA5E ^ self.unit_seed, freq_hz, 1.5, 2)
-                }
+                CaseKind::SoftPouch => ripple_db(0xCA5E ^ self.unit_seed, freq_hz, 1.5, 2),
                 CaseKind::HardCase => ripple_db(0x4A2D ^ self.unit_seed, freq_hz, 3.0, 3),
             };
         if self.air_in_case {
@@ -266,7 +264,9 @@ mod tests {
         // Compare band averages so individual notches don't dominate.
         let d = Device::default_rig(0);
         let mean = |lo: usize, hi: usize| -> f64 {
-            let vals: Vec<f64> = (lo..hi).map(|f| d.tx_response_db(f as f64 * 100.0)).collect();
+            let vals: Vec<f64> = (lo..hi)
+                .map(|f| d.tx_response_db(f as f64 * 100.0))
+                .collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
         let in_band = mean(25, 36); // 2.5-3.5 kHz
@@ -337,7 +337,9 @@ mod tests {
         let a = Device::default_rig(1);
         let b = Device::default_rig(2);
         let diff: f64 = (10..45)
-            .map(|k| (a.tx_response_db(k as f64 * 100.0) - b.tx_response_db(k as f64 * 100.0)).abs())
+            .map(|k| {
+                (a.tx_response_db(k as f64 * 100.0) - b.tx_response_db(k as f64 * 100.0)).abs()
+            })
             .sum();
         assert!(diff > 1.0);
     }

@@ -96,7 +96,10 @@ impl Environment {
                 noise: NoiseProfile::underwater(BASE_NOISE_RMS),
                 impulse_rate_hz: 0.2,
                 impulse_peak: 0.02,
-                reflectors: vec![Reflector { pos: Pos::new(8.0, 6.0, 2.0), reflectivity: 0.18 }],
+                reflectors: vec![Reflector {
+                    pos: Pos::new(8.0, 6.0, 2.0),
+                    reflectivity: 0.18,
+                }],
             },
             Site::Park => Self {
                 site,
@@ -109,7 +112,10 @@ impl Environment {
                 noise: NoiseProfile::underwater(BASE_NOISE_RMS).with_gain_db(5.0),
                 impulse_rate_hz: 1.0,
                 impulse_peak: 0.05,
-                reflectors: vec![Reflector { pos: Pos::new(12.0, -7.0, 2.0), reflectivity: 0.30 }],
+                reflectors: vec![Reflector {
+                    pos: Pos::new(12.0, -7.0, 2.0),
+                    reflectivity: 0.30,
+                }],
             },
             Site::Lake => Self {
                 site,
@@ -126,8 +132,14 @@ impl Environment {
                 impulse_rate_hz: 2.0,
                 impulse_peak: 0.08,
                 reflectors: vec![
-                    Reflector { pos: Pos::new(15.0, 8.0, 2.5), reflectivity: 0.38 },
-                    Reflector { pos: Pos::new(4.0, -5.0, 3.0), reflectivity: 0.28 },
+                    Reflector {
+                        pos: Pos::new(15.0, 8.0, 2.5),
+                        reflectivity: 0.38,
+                    },
+                    Reflector {
+                        pos: Pos::new(4.0, -5.0, 3.0),
+                        reflectivity: 0.28,
+                    },
                 ],
             },
             Site::Beach => Self {
@@ -155,8 +167,14 @@ impl Environment {
                 impulse_rate_hz: 1.0,
                 impulse_peak: 0.05,
                 reflectors: vec![
-                    Reflector { pos: Pos::new(10.0, 6.0, 4.0), reflectivity: 0.45 },
-                    Reflector { pos: Pos::new(-6.0, 9.0, 1.5), reflectivity: 0.30 },
+                    Reflector {
+                        pos: Pos::new(10.0, 6.0, 4.0),
+                        reflectivity: 0.45,
+                    },
+                    Reflector {
+                        pos: Pos::new(-6.0, 9.0, 1.5),
+                        reflectivity: 0.30,
+                    },
                 ],
             },
             Site::Bay => Self {
@@ -170,7 +188,10 @@ impl Environment {
                 noise: NoiseProfile::underwater(BASE_NOISE_RMS).with_gain_db(5.0),
                 impulse_rate_hz: 1.5,
                 impulse_peak: 0.05,
-                reflectors: vec![Reflector { pos: Pos::new(20.0, 10.0, 6.0), reflectivity: 0.20 }],
+                reflectors: vec![Reflector {
+                    pos: Pos::new(20.0, 10.0, 6.0),
+                    reflectivity: 0.20,
+                }],
             },
             Site::Air => Self {
                 site,
@@ -238,7 +259,13 @@ mod tests {
 
     #[test]
     fn deep_sites_are_deep() {
-        assert_eq!(Environment::preset(Site::Museum).boundaries.water_depth_m, 9.0);
-        assert_eq!(Environment::preset(Site::Bay).boundaries.water_depth_m, 15.0);
+        assert_eq!(
+            Environment::preset(Site::Museum).boundaries.water_depth_m,
+            9.0
+        );
+        assert_eq!(
+            Environment::preset(Site::Bay).boundaries.water_depth_m,
+            15.0
+        );
     }
 }

@@ -112,8 +112,8 @@ pub fn eigenrays(
     let mut rays = Vec::new();
     let mut push = |vertical: f64, s: usize, b: usize, family: u8, order: usize| {
         let length = (r * r + vertical * vertical).sqrt().max(1e-3);
-        let boundary_gain = bounds.surface_reflectivity.powi(s as i32)
-            * bounds.bottom_reflectivity.powi(b as i32);
+        let boundary_gain =
+            bounds.surface_reflectivity.powi(s as i32) * bounds.bottom_reflectivity.powi(b as i32);
         if boundary_gain == 0.0 && (s + b) > 0 {
             return;
         }
@@ -159,7 +159,10 @@ pub fn delay_spread_s(rays: &[Eigenray], c: f64) -> f64 {
     if rays.len() < 2 {
         return 0.0;
     }
-    let min = rays.iter().map(|r| r.length_m).fold(f64::INFINITY, f64::min);
+    let min = rays
+        .iter()
+        .map(|r| r.length_m)
+        .fold(f64::INFINITY, f64::min);
     let max = rays.iter().map(|r| r.length_m).fold(0.0, f64::max);
     (max - min) / c
 }
@@ -201,7 +204,11 @@ mod tests {
             1e-3,
             8,
         );
-        assert!(rays.len() >= 5, "expected rich multipath, got {}", rays.len());
+        assert!(
+            rays.len() >= 5,
+            "expected rich multipath, got {}",
+            rays.len()
+        );
         // direct path is shortest
         assert_eq!(rays[0].surface_bounces + rays[0].bottom_bounces, 0);
     }
@@ -231,7 +238,10 @@ mod tests {
         let shallow = eigenrays(
             &Pos::new(0.0, 0.0, 1.0),
             &Pos::new(5.0, 0.0, 1.0),
-            &Boundaries { water_depth_m: 2.0, ..lake_bounds() },
+            &Boundaries {
+                water_depth_m: 2.0,
+                ..lake_bounds()
+            },
             2500.0,
             1e-2,
             6,
@@ -239,7 +249,10 @@ mod tests {
         let deep = eigenrays(
             &Pos::new(0.0, 0.0, 1.0),
             &Pos::new(5.0, 0.0, 1.0),
-            &Boundaries { water_depth_m: 15.0, ..lake_bounds() },
+            &Boundaries {
+                water_depth_m: 15.0,
+                ..lake_bounds()
+            },
             2500.0,
             1e-2,
             6,
@@ -261,7 +274,10 @@ mod tests {
             1e-4,
             6,
         );
-        let direct = rays.iter().find(|r| r.surface_bounces + r.bottom_bounces == 0).unwrap();
+        let direct = rays
+            .iter()
+            .find(|r| r.surface_bounces + r.bottom_bounces == 0)
+            .unwrap();
         for ray in &rays {
             if ray.surface_bounces + ray.bottom_bounces >= 3 {
                 assert!(ray.amplitude.abs() < direct.amplitude.abs());

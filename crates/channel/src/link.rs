@@ -143,8 +143,11 @@ impl Link {
             }
         }
         if self.cfg.impulses && self.cfg.env.impulse_rate_hz > 0.0 {
-            self.noise_gen
-                .add_impulses(&mut y, self.cfg.env.impulse_rate_hz, self.cfg.env.impulse_peak);
+            self.noise_gen.add_impulses(
+                &mut y,
+                self.cfg.env.impulse_rate_hz,
+                self.cfg.env.impulse_peak,
+            );
         }
         y
     }
@@ -254,10 +257,7 @@ impl Link {
         // the deepest interference nulls (a pure image-method channel
         // produces unphysically sharp -30 dB notches).
         if self.cfg.env.boundaries.water_depth_m.is_finite() {
-            let direct_amp = rays
-                .iter()
-                .map(|r| r.amplitude.abs())
-                .fold(0.0, f64::max);
+            let direct_amp = rays.iter().map(|r| r.amplitude.abs()).fold(0.0, f64::max);
             let mut s = self.cfg.seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
             let mut rnd = move || {
                 s ^= s << 13;
@@ -265,7 +265,10 @@ impl Link {
                 s ^= s << 17;
                 s as f64 / u64::MAX as f64
             };
-            let direct_len = rays.iter().map(|r| r.length_m).fold(f64::INFINITY, f64::min);
+            let direct_len = rays
+                .iter()
+                .map(|r| r.length_m)
+                .fold(f64::INFINITY, f64::min);
             for idx in 0..4 {
                 let extra_m = 0.6 + 7.0 * rnd();
                 let sign = if rnd() > 0.5 { 1.0 } else { -1.0 };
@@ -320,10 +323,7 @@ impl Link {
         let gain = 10f64.powf((txd + rxd) / 20.0);
         let fs = self.cfg.fs;
         let c = self.cfg.env.sound_speed;
-        let max_delay = rays
-            .iter()
-            .map(|r| r.delay_s(c))
-            .fold(0.0, f64::max);
+        let max_delay = rays.iter().map(|r| r.delay_s(c)).fold(0.0, f64::max);
         let fir_len = (max_delay * fs).ceil() as usize + 2 * TAP_HALF_WIDTH + 2;
         let mut fir = vec![0.0; fir_len];
         for ray in &rays {
@@ -333,7 +333,11 @@ impl Link {
         let full = fft_convolve(x, &fir);
         // compensate the kernel's TAP_HALF_WIDTH offset
         let out_len = x.len() + fir_len - TAP_HALF_WIDTH;
-        full[TAP_HALF_WIDTH..].iter().take(out_len).cloned().collect()
+        full[TAP_HALF_WIDTH..]
+            .iter()
+            .take(out_len)
+            .cloned()
+            .collect()
     }
 
     /// Moving render: block-interpolated per-path fractional delays.
@@ -516,7 +520,11 @@ mod tests {
         let resp = link.frequency_response_db(&freqs, 0.0);
         let max = resp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = resp.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max - min > 8.0, "expected notches, swing only {}", max - min);
+        assert!(
+            max - min > 8.0,
+            "expected notches, swing only {}",
+            max - min
+        );
     }
 
     #[test]
@@ -540,7 +548,10 @@ mod tests {
         let rb = back.frequency_response_db(&freqs, 0.0);
         let mean_abs_diff: f64 =
             rf.iter().zip(&rb).map(|(x, y)| (x - y).abs()).sum::<f64>() / rf.len() as f64;
-        assert!(mean_abs_diff > 1.5, "forward/backward too similar: {mean_abs_diff}");
+        assert!(
+            mean_abs_diff > 1.5,
+            "forward/backward too similar: {mean_abs_diff}"
+        );
     }
 
     #[test]
@@ -579,7 +590,8 @@ mod tests {
         // Transmitter swims toward the receiver: tone should arrive
         // slightly high. Use a constant-velocity-ish oscillation segment.
         let env = Environment::preset(Site::Air); // single path isolates Doppler
-        let mut cfg = LinkConfig::s9_pair(env, Pos::new(0.0, 0.0, 1.0), Pos::new(30.0, 0.0, 1.0), 3);
+        let mut cfg =
+            LinkConfig::s9_pair(env, Pos::new(0.0, 0.0, 1.0), Pos::new(30.0, 0.0, 1.0), 3);
         cfg.noise = false;
         cfg.tx_traj = Trajectory::Oscillating {
             base: Pos::new(0.0, 0.0, 1.0),
@@ -640,7 +652,10 @@ mod tests {
             .iter()
             .position(|v| v.abs() >= 0.5 * max)
             .expect("significant tap");
-        assert!(first.abs_diff(240) <= 4, "first strong tap at {first}, expected ≈240");
+        assert!(
+            first.abs_diff(240) <= 4,
+            "first strong tap at {first}, expected ≈240"
+        );
     }
 
     #[test]

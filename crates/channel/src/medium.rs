@@ -201,9 +201,18 @@ mod tests {
     #[test]
     fn simultaneous_transmissions_superpose() {
         let mut m = Medium::new(Environment::preset(Site::Bridge), 48000.0, 9);
-        let a = m.add_node(Device::default_rig(1), Trajectory::fixed(Pos::new(0.0, 0.0, 1.0)));
-        let b = m.add_node(Device::default_rig(2), Trajectory::fixed(Pos::new(10.0, 0.0, 1.0)));
-        let c = m.add_node(Device::default_rig(3), Trajectory::fixed(Pos::new(5.0, 3.0, 1.0)));
+        let a = m.add_node(
+            Device::default_rig(1),
+            Trajectory::fixed(Pos::new(0.0, 0.0, 1.0)),
+        );
+        let b = m.add_node(
+            Device::default_rig(2),
+            Trajectory::fixed(Pos::new(10.0, 0.0, 1.0)),
+        );
+        let c = m.add_node(
+            Device::default_rig(3),
+            Trajectory::fixed(Pos::new(5.0, 3.0, 1.0)),
+        );
         let t1 = tone(1500.0, 4800, 48000.0);
         let t2 = tone(2500.0, 4800, 48000.0);
         m.transmit(a, 0, &t1);

@@ -166,10 +166,7 @@ mod tests {
                 acc2 += ax * ax + az * az;
             }
             let rms = (acc2 / (n - 2) as f64).sqrt();
-            assert!(
-                (rms - target).abs() < tol,
-                "target {target} rms {rms}"
-            );
+            assert!((rms - target).abs() < tol, "target {target} rms {rms}");
         }
     }
 

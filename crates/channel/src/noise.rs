@@ -175,7 +175,7 @@ impl NoiseGenerator {
         let count = self.poisson(expected);
         for _ in 0..count {
             let pos = self.rng.gen_range(0..n);
-            let len = self.rng.gen_range(20..200).min(n - pos);
+            let len = self.rng.gen_range(20usize..200).min(n - pos);
             let sign: f64 = if self.rng.gen::<bool>() { 1.0 } else { -1.0 };
             for i in 0..len {
                 let env = (-(i as f64) / 30.0).exp();

@@ -34,7 +34,8 @@ pub fn value_to_bits(value: u64, n: usize) -> Vec<u8> {
 /// Packs up to 64 bits (MSB first) into a value.
 pub fn bits_to_value(bits: &[u8]) -> u64 {
     assert!(bits.len() <= 64);
-    bits.iter().fold(0u64, |acc, &b| (acc << 1) | (b as u64 & 1))
+    bits.iter()
+        .fold(0u64, |acc, &b| (acc << 1) | (b as u64 & 1))
 }
 
 /// Counts positions where two bit slices differ (Hamming distance over the

@@ -213,10 +213,13 @@ mod tests {
     fn depuncture_restores_positions() {
         let data = vec![1, 0, 1, 1];
         let coded = encode(&data, Rate::TwoThirds);
-        let soft: Vec<f64> = coded.iter().map(|&b| if b == 1 { -1.0 } else { 1.0 }).collect();
+        let soft: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 1 { -1.0 } else { 1.0 })
+            .collect();
         let depunct = depuncture(&soft, Rate::TwoThirds);
         assert_eq!(depunct.len(), 8); // 2 * data bits
-        // punctured positions are the 2nd output of every odd input bit
+                                      // punctured positions are the 2nd output of every odd input bit
         assert!(depunct[0].is_some() && depunct[1].is_some());
         assert!(depunct[2].is_some() && depunct[3].is_none());
         assert!(depunct[4].is_some() && depunct[5].is_some());
@@ -226,7 +229,10 @@ mod tests {
     #[test]
     fn data_len_inverts_coded_len() {
         for n in 0..64 {
-            assert_eq!(data_len_for(Rate::TwoThirds.coded_len(n), Rate::TwoThirds), n);
+            assert_eq!(
+                data_len_for(Rate::TwoThirds.coded_len(n), Rate::TwoThirds),
+                n
+            );
             assert_eq!(data_len_for(Rate::Half.coded_len(n), Rate::Half), n);
         }
     }

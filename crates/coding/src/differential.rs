@@ -92,8 +92,9 @@ mod tests {
         // phase error), differential decoding is unaffected across the
         // affected boundary pairs except the single transition symbol.
         let reference = vec![0, 0, 0, 0];
-        let bits: Vec<Vec<Option<u8>>> =
-            (0..4).map(|i| (0..4).map(|k| Some(((i + k) % 2) as u8)).collect()).collect();
+        let bits: Vec<Vec<Option<u8>>> = (0..4)
+            .map(|i| (0..4).map(|k| Some(((i + k) % 2) as u8)).collect())
+            .collect();
         let tx = encode(&reference, &bits);
         // invert symbols 2..4 (as a channel phase flip would)
         let mut corrupted = tx.clone();

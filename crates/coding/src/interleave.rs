@@ -15,9 +15,9 @@ pub fn symbol_order(l: usize) -> Vec<usize> {
         return (0..l).collect();
     }
     let step = l / 3; // "one-third of the selected bins"
-    // Visit bins in strides of `step`, starting each pass one bin later.
-    // This is a (3+r)-column block interleaver that always yields a
-    // permutation regardless of gcd(step, l).
+                      // Visit bins in strides of `step`, starting each pass one bin later.
+                      // This is a (3+r)-column block interleaver that always yields a
+                      // permutation regardless of gcd(step, l).
     let mut order = Vec::with_capacity(l);
     let mut used = vec![false; l];
     let mut start = 0;
@@ -181,7 +181,11 @@ mod tests {
         }
         erased_positions.sort_unstable();
         for w in erased_positions.windows(2) {
-            assert!(w[1] - w[0] > 1, "burst not dispersed: {:?}", erased_positions);
+            assert!(
+                w[1] - w[0] > 1,
+                "burst not dispersed: {:?}",
+                erased_positions
+            );
         }
     }
 

@@ -6,7 +6,7 @@
 //! truncated (starts in state 0, best end state wins), matching the
 //! encoder's untailed 16→24-bit packets.
 
-use crate::conv::{depuncture, CONSTRAINT_LENGTH, GENERATORS, Rate};
+use crate::conv::{depuncture, Rate, CONSTRAINT_LENGTH, GENERATORS};
 
 const NUM_STATES: usize = 1 << (CONSTRAINT_LENGTH - 1); // 64
 
@@ -30,7 +30,10 @@ fn branch_table() -> Vec<[u8; 2]> {
 /// maximum-likelihood data bits.
 pub fn decode_hard(coded: &[u8], rate: Rate) -> Vec<u8> {
     // Map hard bits to bipolar soft values: 0 -> +1, 1 -> -1.
-    let soft: Vec<f64> = coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+    let soft: Vec<f64> = coded
+        .iter()
+        .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+        .collect();
     decode_soft(&soft, rate)
 }
 
@@ -65,7 +68,10 @@ pub fn decode_soft_tailbiting(coded: &[f64], rate: Rate) -> Vec<u8> {
 
 /// Hard-decision tail-biting decode.
 pub fn decode_hard_tailbiting(coded: &[u8], rate: Rate) -> Vec<u8> {
-    let soft: Vec<f64> = coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+    let soft: Vec<f64> = coded
+        .iter()
+        .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+        .collect();
     decode_soft_tailbiting(&soft, rate)
 }
 
@@ -230,7 +236,10 @@ mod tests {
         // mark them as low confidence — soft decoding must recover.
         let data = rand_bits(32, 21);
         let coded = encode(&data, Rate::Half);
-        let mut soft: Vec<f64> = coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        let mut soft: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+            .collect();
         soft[10] = -soft[10] * 0.05; // weakly wrong
         soft[11] = -soft[11] * 0.05;
         soft[30] = -soft[30] * 0.05;
@@ -304,6 +313,9 @@ mod tests {
             coded[i] ^= 1;
         }
         let decoded = decode_hard(&coded, Rate::Half);
-        assert_ne!(decoded, data, "14-bit burst should exceed correction capability");
+        assert_ne!(
+            decoded, data,
+            "14-bit burst should exceed correction capability"
+        );
     }
 }

@@ -43,8 +43,8 @@ pub fn send_with_arq(base: &TrialConfig, max_attempts: usize) -> ArqOutcome {
             cfg.payload.len(),
         );
         let _ = band_len;
-        airtime_s += (cfg.frame.data_start_offset() + data_syms * params.symbol_len()) as f64
-            / params.fs;
+        airtime_s +=
+            (cfg.frame.data_start_offset() + data_syms * params.symbol_len()) as f64 / params.fs;
 
         let ok = trial.packet_ok;
         trials.push(trial);
@@ -101,7 +101,11 @@ mod tests {
         let out = send_with_arq(&cfg, 3);
         assert!(out.delivered);
         assert_eq!(out.attempts, 1);
-        assert!(out.airtime_s > 0.2 && out.airtime_s < 2.0, "airtime {}", out.airtime_s);
+        assert!(
+            out.airtime_s > 0.2 && out.airtime_s < 2.0,
+            "airtime {}",
+            out.airtime_s
+        );
     }
 
     #[test]
@@ -140,6 +144,9 @@ mod tests {
                 with_arq += 1;
             }
         }
-        assert!(with_arq >= one_shot, "ARQ {with_arq}/{n} vs one-shot {one_shot}/{n}");
+        assert!(
+            with_arq >= one_shot,
+            "ARQ {with_arq}/{n} vs one-shot {one_shot}/{n}"
+        );
     }
 }

@@ -101,12 +101,7 @@ impl Messenger {
     /// Sends a message packet from `alice` to `bob` (device positions).
     /// Each call is one packet exchange; the seed advances so repeated
     /// sends see fresh noise.
-    pub fn send(
-        &mut self,
-        alice: Pos,
-        bob: Pos,
-        packet: MessagePacket,
-    ) -> SendOutcome {
+    pub fn send(&mut self, alice: Pos, bob: Pos, packet: MessagePacket) -> SendOutcome {
         self.send_with(alice, bob, packet, Scheme::Adaptive, None, None)
     }
 

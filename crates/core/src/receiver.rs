@@ -155,8 +155,8 @@ impl StreamingReceiver {
                     return;
                 }
                 let est = estimate(&params, &self.preamble, &self.buffer[offset..]);
-                let Some(band) =
-                    select_band(&est.snr_db, &self.band_cfg).or_else(|| best_single_bin(&est.snr_db))
+                let Some(band) = select_band(&est.snr_db, &self.band_cfg)
+                    .or_else(|| best_single_bin(&est.snr_db))
                 else {
                     self.scanned_to = self.buffer_start + id_start;
                     return;
@@ -272,10 +272,14 @@ mod tests {
             events.extend(rx.push(block));
         }
         assert!(
-            events.iter().any(|e| matches!(e, RxEvent::PreambleDetected { .. })),
+            events
+                .iter()
+                .any(|e| matches!(e, RxEvent::PreambleDetected { .. })),
             "{events:?}"
         );
-        assert!(events.iter().any(|e| matches!(e, RxEvent::FeedbackReady { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RxEvent::FeedbackReady { .. })));
         let packet = events.iter().find_map(|e| match e {
             RxEvent::Packet { bits, .. } => Some(bits.clone()),
             _ => None,
@@ -292,7 +296,9 @@ mod tests {
         for block in stream.chunks(1024) {
             events.extend(rx.push(block));
         }
-        assert!(events.iter().any(|e| matches!(e, RxEvent::NotForUs { addressed: 12 })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RxEvent::NotForUs { addressed: 12 })));
         assert!(!events.iter().any(|e| matches!(e, RxEvent::Packet { .. })));
     }
 
@@ -308,7 +314,9 @@ mod tests {
         for block in stream.chunks(480) {
             events.extend(rx.push(block));
         }
-        assert!(events.iter().any(|e| matches!(e, RxEvent::FeedbackReady { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RxEvent::FeedbackReady { .. })));
         assert!(events.iter().any(|e| matches!(e, RxEvent::DataLost)));
     }
 

@@ -222,8 +222,8 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
     let (bob_band, alice_band, feedback_ok) = match cfg.scheme {
         Scheme::Fixed(band) | Scheme::Stale(band) => (band, band, true),
         Scheme::Adaptive => {
-            let selected = select_band(&est.snr_db, &cfg.band_cfg)
-                .or_else(|| best_single_bin(&est.snr_db));
+            let selected =
+                select_band(&est.snr_db, &cfg.band_cfg).or_else(|| best_single_bin(&est.snr_db));
             let Some(selected) = selected else {
                 return TrialResult {
                     preamble_detected: true,
@@ -312,8 +312,13 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
         differential: cfg.differential && cfg.decode.differential,
         ..cfg.decode
     };
-    let decoded =
-        demodulate_data(&params, bob_band, &data_rx[train_at..], cfg.payload.len(), &opts);
+    let decoded = demodulate_data(
+        &params,
+        bob_band,
+        &data_rx[train_at..],
+        cfg.payload.len(),
+        &opts,
+    );
 
     let coded_ber = bit_error_rate(&coded_payload, &decoded.coded_hard);
     let packet_ok = decoded.bits == cfg.payload;
@@ -352,7 +357,11 @@ mod tests {
         assert!(r.id_ok, "ID");
         assert!(r.feedback_ok, "feedback");
         assert!(r.packet_ok, "payload decode; coded BER {}", r.coded_ber);
-        assert!(r.coded_bitrate_bps > 100.0, "bitrate {}", r.coded_bitrate_bps);
+        assert!(
+            r.coded_bitrate_bps > 100.0,
+            "bitrate {}",
+            r.coded_bitrate_bps
+        );
     }
 
     #[test]
@@ -409,10 +418,7 @@ mod tests {
         // modelled by checking a different expectation
         let mut cfg2 = bridge_trial(5.0, 3);
         cfg2.bob_id = 31;
-        let r2 = run_trial(&TrialConfig {
-            bob_id: 31,
-            ..cfg2
-        });
+        let r2 = run_trial(&TrialConfig { bob_id: 31, ..cfg2 });
         assert!(r2.id_ok);
     }
 

@@ -25,7 +25,10 @@ fn hopeless_distance_fails_cleanly() {
     assert!(!r.packet_ok);
     assert!(r.bits.is_none());
     assert_eq!(r.coded_bitrate_bps, 0.0);
-    assert!((r.coded_ber - 0.5).abs() < 1e-9, "failed packets count as coin-flip BER");
+    assert!(
+        (r.coded_ber - 0.5).abs() < 1e-9,
+        "failed packets count as coin-flip BER"
+    );
 }
 
 #[test]
@@ -37,7 +40,10 @@ fn fixed_scheme_skips_feedback_but_still_delivers() {
     assert!(r.feedback_ok, "fixed schemes report feedback trivially OK");
     assert_eq!(r.band, Some(Band::new(0, 29)));
     assert!(r.packet_ok, "1-2.5 kHz fixed at 5 m bridge should decode");
-    assert!((r.coded_bitrate_bps - 1000.0).abs() < 1.0, "30 bins = 1000 bps");
+    assert!(
+        (r.coded_bitrate_bps - 1000.0).abs() < 1.0,
+        "30 bins = 1000 bps"
+    );
 }
 
 #[test]

@@ -17,7 +17,11 @@ pub fn zadoff_chu(root: usize, len: usize) -> Vec<Complex> {
     assert!(gcd(root, len) == 1, "root must be coprime with length");
     (0..len)
         .map(|n| {
-            let num = if len.is_multiple_of(2) { n * n } else { n * (n + 1) };
+            let num = if len.is_multiple_of(2) {
+                n * n
+            } else {
+                n * (n + 1)
+            };
             // Evaluate the quadratic phase modulo 2·len to avoid precision
             // loss for long sequences.
             let idx = (root * num) % (2 * len);

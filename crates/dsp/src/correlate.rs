@@ -102,7 +102,9 @@ pub fn sliding_energy(signal: &[f64], w: usize) -> Vec<f64> {
     for (i, &v) in signal.iter().enumerate() {
         prefix[i + 1] = prefix[i] + v * v;
     }
-    (0..=signal.len() - w).map(|i| prefix[i + w] - prefix[i]).collect()
+    (0..=signal.len() - w)
+        .map(|i| prefix[i + w] - prefix[i])
+        .collect()
 }
 
 /// Index of the maximum value; `None` on an empty slice. Ties resolve to the
@@ -159,7 +161,11 @@ mod tests {
         }
         let corr = xcorr_normalized(&signal, &template);
         assert!((corr[100] - 1.0).abs() < 1e-9);
-        assert_eq!(argmax(&corr), Some(100), "normalization must beat the loud burst");
+        assert_eq!(
+            argmax(&corr),
+            Some(100),
+            "normalization must beat the loud burst"
+        );
     }
 
     #[test]

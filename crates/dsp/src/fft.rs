@@ -101,7 +101,14 @@ impl Fft {
     ///
     /// Transforms `data[0..n]` in place. `stride` is the twiddle-table stride
     /// (`self.len / n`), `depth` indexes into `self.factors`.
-    fn recurse(&self, data: &mut [Complex], scratch: &mut [Complex], n: usize, stride: usize, depth: usize) {
+    fn recurse(
+        &self,
+        data: &mut [Complex],
+        scratch: &mut [Complex],
+        n: usize,
+        stride: usize,
+        depth: usize,
+    ) {
         if n == 1 {
             return;
         }
@@ -121,7 +128,13 @@ impl Fft {
 
         // Recurse on each subsequence of length m.
         for l in 0..r {
-            self.recurse(&mut data[l * m..(l + 1) * m], scratch, m, stride * r, depth + 1);
+            self.recurse(
+                &mut data[l * m..(l + 1) * m],
+                scratch,
+                m,
+                stride * r,
+                depth + 1,
+            );
         }
 
         // Combine: X[q + m*s] = Σ_l tw(l*(q + m*s)) · Y_l[q].
@@ -255,7 +268,8 @@ mod tests {
             .map(|k| {
                 let mut acc = ZERO;
                 for (j, &v) in x.iter().enumerate() {
-                    acc += v * Complex::cis(-2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
+                    acc +=
+                        v * Complex::cis(-2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
                 }
                 acc
             })
@@ -275,7 +289,10 @@ mod tests {
     }
 
     fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

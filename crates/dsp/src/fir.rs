@@ -161,7 +161,8 @@ impl StreamingFir {
         // Update history with the last k-1 input samples.
         if block.len() >= k - 1 {
             self.history.clear();
-            self.history.extend_from_slice(&block[block.len() - (k - 1)..]);
+            self.history
+                .extend_from_slice(&block[block.len() - (k - 1)..]);
         } else {
             let keep = (k - 1) - block.len();
             let tail: Vec<f64> = self.history[self.history.len() - keep..].to_vec();

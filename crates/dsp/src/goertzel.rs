@@ -31,7 +31,10 @@ pub fn goertzel_power(signal: &[f64], freq: f64, fs: f64) -> f64 {
 /// Evaluates Goertzel power at several frequencies and returns the index of
 /// the strongest one together with all powers.
 pub fn strongest_tone(signal: &[f64], freqs: &[f64], fs: f64) -> (usize, Vec<f64>) {
-    let powers: Vec<f64> = freqs.iter().map(|&f| goertzel_power(signal, f, fs)).collect();
+    let powers: Vec<f64> = freqs
+        .iter()
+        .map(|&f| goertzel_power(signal, f, fs))
+        .collect();
     let best = powers
         .iter()
         .enumerate()

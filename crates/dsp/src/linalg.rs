@@ -117,7 +117,9 @@ pub fn toeplitz_matrix(r: &[f64], n: usize) -> Vec<Vec<f64>> {
 
 /// Matrix-vector product for a row-major dense matrix.
 pub fn matvec(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
-    a.iter().map(|row| row.iter().zip(x).map(|(r, v)| r * v).sum()).collect()
+    a.iter()
+        .map(|row| row.iter().zip(x).map(|(r, v)| r * v).sum())
+        .collect()
 }
 
 #[cfg(test)]
@@ -161,7 +163,12 @@ mod tests {
             let a = toeplitz_matrix(&r, n);
             let x2 = cholesky_solve(&a, &b).expect("cholesky");
             for i in 0..n {
-                assert!((x1[i] - x2[i]).abs() < 1e-6, "n {n} i {i}: {} vs {}", x1[i], x2[i]);
+                assert!(
+                    (x1[i] - x2[i]).abs() < 1e-6,
+                    "n {n} i {i}: {} vs {}",
+                    x1[i],
+                    x2[i]
+                );
             }
         }
     }

@@ -79,7 +79,9 @@ pub fn resample_const(signal: &[f64], rate: f64) -> Vec<f64> {
     assert!(rate > 0.0);
     let interp = SincInterpolator::default();
     let out_len = (signal.len() as f64 / rate).floor() as usize;
-    (0..out_len).map(|i| interp.sample(signal, i as f64 * rate)).collect()
+    (0..out_len)
+        .map(|i| interp.sample(signal, i as f64 * rate))
+        .collect()
 }
 
 /// Evaluates `signal` at each fractional index in `times` (in samples).

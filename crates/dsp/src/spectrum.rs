@@ -19,7 +19,10 @@ pub struct Psd {
 impl Psd {
     /// Power values in dB (10·log10), floored at -300 dB.
     pub fn power_db(&self) -> Vec<f64> {
-        self.power.iter().map(|&p| 10.0 * p.max(1e-30).log10()).collect()
+        self.power
+            .iter()
+            .map(|&p| 10.0 * p.max(1e-30).log10())
+            .collect()
     }
 
     /// Normalizes so the maximum power is 0 dB, as in the paper's Fig. 4.
@@ -85,7 +88,9 @@ pub fn welch_psd(signal: &[f64], segment_len: usize, fs: f64, window: Window) ->
     }
     let norm = 1.0 / (count as f64 * segment_len as f64 * segment_len as f64 * win_power);
     let power: Vec<f64> = acc.into_iter().map(|p| p * norm).collect();
-    let freqs: Vec<f64> = (0..half).map(|k| k as f64 * fs / segment_len as f64).collect();
+    let freqs: Vec<f64> = (0..half)
+        .map(|k| k as f64 * fs / segment_len as f64)
+        .collect();
     Psd { freqs, power }
 }
 
@@ -121,7 +126,9 @@ pub fn stft(signal: &[f64], segment_len: usize, hop: usize, fs: f64, window: Win
         times.push(start as f64 / fs);
         start += hop;
     }
-    let freqs = (0..half).map(|k| k as f64 * fs / segment_len as f64).collect();
+    let freqs = (0..half)
+        .map(|k| k as f64 * fs / segment_len as f64)
+        .collect();
     Stft {
         frames,
         freqs,
@@ -173,7 +180,10 @@ mod tests {
             .unwrap()
             .0;
         let peak_freq = psd.freqs[peak_idx];
-        assert!((peak_freq - 2000.0).abs() < fs / 1024.0 * 1.5, "peak at {peak_freq}");
+        assert!(
+            (peak_freq - 2000.0).abs() < fs / 1024.0 * 1.5,
+            "peak at {peak_freq}"
+        );
     }
 
     #[test]
@@ -193,7 +203,10 @@ mod tests {
         let mid = &db[10..246];
         let mean = mid.iter().sum::<f64>() / mid.len() as f64;
         for &v in mid {
-            assert!((v - mean).abs() < 6.0, "flatness violated: {v} vs mean {mean}");
+            assert!(
+                (v - mean).abs() < 6.0,
+                "flatness violated: {v} vs mean {mean}"
+            );
         }
     }
 

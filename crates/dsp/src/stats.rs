@@ -55,7 +55,10 @@ pub fn ecdf(xs: &[f64]) -> Vec<(f64, f64)> {
 /// Evaluates the empirical CDF at fixed probability levels, producing the
 /// compact "CDF rows" used in EXPERIMENTS.md tables.
 pub fn cdf_at_levels(xs: &[f64], levels: &[f64]) -> Vec<(f64, f64)> {
-    levels.iter().map(|&p| (percentile(xs, p * 100.0), p)).collect()
+    levels
+        .iter()
+        .map(|&p| (percentile(xs, p * 100.0), p))
+        .collect()
 }
 
 /// Complementary error function (Abramowitz & Stegun 7.1.26-style rational
@@ -72,9 +75,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {

@@ -53,7 +53,12 @@ pub fn fig3a() -> String {
 pub fn fig3b() -> String {
     let mut table = Table::new(
         "Fig 3b — S9<->S9 responses across locations (10 m): deepest notch moves",
-        &["location", "deepest-notch freq (Hz)", "notch depth dB vs mean", "swing dB"],
+        &[
+            "location",
+            "deepest-notch freq (Hz)",
+            "notch depth dB vs mean",
+            "swing dB",
+        ],
     );
     for site in [Site::Bridge, Site::Park, Site::Lake, Site::Museum] {
         let mut link = sounding_link(
@@ -108,7 +113,11 @@ pub fn fig3cd() -> String {
         "Fig 3c,d — forward/backward response difference (2 m, 1-3 kHz)",
         &["medium", "mean |fwd - back| dB", "paper"],
     );
-    table.row(vec!["air".into(), format!("{air:.2}"), "similar curves".into()]);
+    table.row(vec![
+        "air".into(),
+        format!("{air:.2}"),
+        "similar curves".into(),
+    ]);
     table.row(vec![
         "water".into(),
         format!("{water:.2}"),
@@ -144,12 +153,23 @@ pub fn fig4() -> String {
 
     let mut t_loc = Table::new(
         "Fig 4b — ambient noise across locations (S9, absolute dB re full scale)",
-        &["location", "in-band (1-4k) dB", "below 1k dB", "spread vs bridge dB"],
+        &[
+            "location",
+            "in-band (1-4k) dB",
+            "below 1k dB",
+            "spread vs bridge dB",
+        ],
     );
     let mut bridge_level = 0.0;
-    for (i, site) in [Site::Bridge, Site::Park, Site::Beach, Site::Museum, Site::Lake]
-        .iter()
-        .enumerate()
+    for (i, site) in [
+        Site::Bridge,
+        Site::Park,
+        Site::Beach,
+        Site::Museum,
+        Site::Lake,
+    ]
+    .iter()
+    .enumerate()
     {
         let env = Environment::preset(*site);
         let mut gen = NoiseGenerator::new(env.noise.clone(), FS, 7);
@@ -199,7 +219,11 @@ pub fn fig18() -> String {
         "Fig 18 — air in waterproof case (5 m)",
         &["config", "mean 1-4 kHz dB", "max pointwise diff dB"],
     );
-    table.row(vec!["air expelled".into(), format!("{:.2}", mean(&without)), String::new()]);
+    table.row(vec![
+        "air expelled".into(),
+        format!("{:.2}", mean(&without)),
+        String::new(),
+    ]);
     table.row(vec![
         "air-filled".into(),
         format!("{:.2}", mean(&with)),
@@ -268,11 +292,12 @@ mod tests {
             .lines()
             .filter(|l| l.contains("air"))
             .filter_map(|l| {
-                l.split('|').nth(2).and_then(|c| c.trim().parse::<f64>().ok())
+                l.split('|')
+                    .nth(2)
+                    .and_then(|c| c.trim().parse::<f64>().ok())
             })
             .collect();
         assert_eq!(means.len(), 2, "{report}");
         assert!((means[0] - means[1]).abs() < 1.5, "{report}");
     }
-
 }

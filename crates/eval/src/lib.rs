@@ -60,7 +60,24 @@ pub fn run_experiment(name: &str, size: RunSize) -> Option<String> {
 /// All experiment names in paper order (fig12 covers Fig. 13 too;
 /// `detector` is this repo's added ablation).
 pub const ALL_EXPERIMENTS: [&str; 20] = [
-    "fig3a", "fig3b", "fig3cd", "fig4", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig12d", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-    "preamble", "detector", "latency", "delayspread",
+    "fig3a",
+    "fig3b",
+    "fig3cd",
+    "fig4",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig12d",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "preamble",
+    "detector",
+    "latency",
+    "delayspread",
 ];

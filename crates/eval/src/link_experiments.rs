@@ -132,7 +132,13 @@ pub fn fig9(size: RunSize) -> String {
     let mut out = String::new();
     let mut per_table = Table::new(
         "Fig 9d — PER at 5 m: adaptive vs fixed bandwidth",
-        &["location", "ours (adaptive)", "1-4 kHz", "1-2.5 kHz", "1-1.5 kHz"],
+        &[
+            "location",
+            "ours (adaptive)",
+            "1-4 kHz",
+            "1-2.5 kHz",
+            "1-1.5 kHz",
+        ],
     );
     let mut cdf_table = Table::new(
         "Fig 9a — selected coded bitrate CDF at 5 m (bps)",
@@ -188,7 +194,14 @@ pub fn fig10(size: RunSize) -> String {
     let n = size.packets();
     let mut per_table = Table::new(
         "Fig 10 — PER vs device depth (museum, 9 m water, 5 m apart)",
-        &["depth", "ours", "3 kHz fixed", "1.5 kHz fixed", "0.5 kHz fixed", "median bps"],
+        &[
+            "depth",
+            "ours",
+            "3 kHz fixed",
+            "1.5 kHz fixed",
+            "0.5 kHz fixed",
+            "median bps",
+        ],
     );
     for depth in [2.0, 5.0, 7.0] {
         let env = Environment::preset(Site::Museum);
@@ -239,7 +252,11 @@ pub fn fig11(size: RunSize) -> String {
         format!("{:.0} bps", stats.median_bitrate),
         "133 bps".into(),
     ]);
-    table.row(vec!["bitrate CDF".into(), cdf_row(&stats.bitrates), String::new()]);
+    table.row(vec![
+        "bitrate CDF".into(),
+        cdf_row(&stats.bitrates),
+        String::new(),
+    ]);
     table.row(vec!["PER".into(), pct(stats.per), "works at depth".into()]);
     table.render()
 }
@@ -372,8 +389,7 @@ pub fn fig17(size: RunSize) -> String {
         let mut row = vec![name.to_string()];
         for dist in [5.0, 20.0] {
             let stats = packet_series(n, |seed| {
-                let mut cfg =
-                    standard_cfg(Environment::preset(Site::Lake), dist, 11_000 + seed);
+                let mut cfg = standard_cfg(Environment::preset(Site::Lake), dist, 11_000 + seed);
                 cfg.frame = FrameConfig {
                     params,
                     ..FrameConfig::default()

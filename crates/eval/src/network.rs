@@ -65,13 +65,11 @@ pub fn fig19(size: RunSize) -> String {
         // n_tx transmitters + 1 receiver placed 5-10 m apart
         let mut positions = vec![Pos::new(0.0, 0.0, 1.0)];
         for i in 0..n_tx {
-            positions.push(Pos::new(
-                5.0 + 2.0 * i as f64,
-                (i as f64 - 1.0) * 4.0,
-                1.0,
-            ));
+            positions.push(Pos::new(5.0 + 2.0 * i as f64, (i as f64 - 1.0) * 4.0, 1.0));
         }
-        let devices: Vec<Device> = (0..=n_tx).map(|i| Device::default_rig(i as u64 + 1)).collect();
+        let devices: Vec<Device> = (0..=n_tx)
+            .map(|i| Device::default_rig(i as u64 + 1))
+            .collect();
         let env = Environment::preset(Site::Bridge);
         let full_gains = gain_matrix(&env, &positions, &devices);
         let nf = noise_floor(&env, positions.len());

@@ -121,7 +121,11 @@ pub fn fig16(size: RunSize) -> String {
             .filter_map(|i| stability_sample(&traj, 31_000 + i as u64))
             .collect();
         if samples.is_empty() {
-            table.row(vec![name.to_string(), "(no detections)".into(), String::new()]);
+            table.row(vec![
+                name.to_string(),
+                "(no detections)".into(),
+                String::new(),
+            ]);
             continue;
         }
         let below = samples.iter().filter(|&&s| s < 4.0).count() as f64 / samples.len() as f64;
@@ -159,10 +163,8 @@ pub fn preamble_and_feedback_stats(size: RunSize) -> String {
                 detected += 1;
             }
             // feedback reliability over the same distance (backward link)
-            let band = aqua_phy::bandselect::Band::new(
-                (seed % 30) as usize,
-                30 + (seed % 30) as usize,
-            );
+            let band =
+                aqua_phy::bandselect::Band::new((seed % 30) as usize, 30 + (seed % 30) as usize);
             let mut back = Link::new(LinkConfig::s9_pair(
                 Environment::preset(Site::Lake),
                 Pos::new(dist, 0.0, 1.0),
@@ -216,7 +218,9 @@ pub fn detector_ablation(size: RunSize) -> String {
     let raw_threshold = 0.5 * calibration_peak;
     let coarse_only = |rx: &[f64]| -> bool {
         let corr = xcorr_valid_fft(rx, &preamble.samples);
-        argmax(&corr).map(|i| corr[i].abs() > raw_threshold).unwrap_or(false)
+        argmax(&corr)
+            .map(|i| corr[i].abs() > raw_threshold)
+            .unwrap_or(false)
     };
 
     // The key weakness of an absolute correlation threshold is SNR

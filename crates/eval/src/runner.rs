@@ -78,8 +78,7 @@ pub fn summarize(trials: Vec<TrialResult>) -> SeriesStats {
     } else {
         median(&bitrates)
     };
-    let detection_rate =
-        trials.iter().filter(|t| t.preamble_detected).count() as f64 / n as f64;
+    let detection_rate = trials.iter().filter(|t| t.preamble_detected).count() as f64 / n as f64;
     SeriesStats {
         trials,
         per,

@@ -68,7 +68,12 @@ mod tests {
             Device::default_rig(3),
         ];
         let g = gain_matrix(&env, &positions, &devices);
-        assert!(g[0][1] > g[0][2], "5 m gain {} vs 20 m gain {}", g[0][1], g[0][2]);
+        assert!(
+            g[0][1] > g[0][2],
+            "5 m gain {} vs 20 m gain {}",
+            g[0][1],
+            g[0][2]
+        );
         assert_eq!(g[0][0], 0.0);
     }
 
@@ -83,6 +88,10 @@ mod tests {
         let nf = noise_floor(&env, 2);
         // transmit band power is target_rms² = 0.04
         let rx_power = g[0][1] * 0.04;
-        assert!(rx_power > 4.0 * nf[1], "sensed power {rx_power} vs noise {}", nf[1]);
+        assert!(
+            rx_power > 4.0 * nf[1],
+            "sensed power {rx_power} vs noise {}",
+            nf[1]
+        );
     }
 }

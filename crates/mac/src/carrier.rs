@@ -75,7 +75,9 @@ impl CarrierSense {
 
     /// Whether the channel currently reads busy.
     pub fn busy(&self) -> bool {
-        self.last_energy.map(|e| e > self.threshold).unwrap_or(false)
+        self.last_energy
+            .map(|e| e > self.threshold)
+            .unwrap_or(false)
     }
 
     /// Sample rate the sensor was built for.
@@ -141,7 +143,10 @@ mod tests {
             *v *= 0.3;
         }
         cs.feed(&sig);
-        assert!(!cs.busy(), "10 kHz interference must not trigger 1-4 kHz sensing");
+        assert!(
+            !cs.busy(),
+            "10 kHz interference must not trigger 1-4 kHz sensing"
+        );
     }
 
     #[test]
@@ -151,7 +156,10 @@ mod tests {
         cs.feed(&vec![0.0; 3839]);
         assert!(cs.last_energy().is_none(), "no full window yet");
         cs.feed(&[0.0]);
-        assert!(cs.last_energy().is_some(), "3840 samples = one 80 ms window");
+        assert!(
+            cs.last_energy().is_some(),
+            "3840 samples = one 80 ms window"
+        );
     }
 
     #[test]

@@ -85,21 +85,15 @@ enum NodeState {
 ///
 /// `gains[i][j]` is the linear power gain from transmitter `i` to node `j`
 /// (diagonal unused); `noise_floor[j]` is node `j`'s in-band noise power.
-pub fn simulate(
-    cfg: &MacConfig,
-    gains: &[Vec<f64>],
-    noise_floor: &[f64],
-    seed: u64,
-) -> MacResult {
+pub fn simulate(cfg: &MacConfig, gains: &[Vec<f64>], noise_floor: &[f64], seed: u64) -> MacResult {
     let n = gains.len();
     assert!(n >= 1 && noise_floor.len() == n);
     let mut rng = StdRng::seed_from_u64(seed);
     let packet_slots = (cfg.packet_duration_s / cfg.slot_s).ceil() as usize;
-    let to_slots =
-        |range: (f64, f64), rng: &mut StdRng| -> usize {
-            let s: f64 = rng.gen_range(range.0..=range.1);
-            (s / cfg.slot_s).ceil() as usize
-        };
+    let to_slots = |range: (f64, f64), rng: &mut StdRng| -> usize {
+        let s: f64 = rng.gen_range(range.0..=range.1);
+        (s / cfg.slot_s).ceil() as usize
+    };
 
     let mut states: Vec<NodeState> = (0..n)
         .map(|_| NodeState::WaitingUntil(to_slots(cfg.initial_delay_s, &mut rng)))
@@ -135,7 +129,9 @@ pub fn simulate(
                         states[i] = if sent[i] >= cfg.max_packets {
                             NodeState::Done
                         } else {
-                            NodeState::WaitingUntil(slot + to_slots(cfg.inter_packet_gap_s, &mut rng))
+                            NodeState::WaitingUntil(
+                                slot + to_slots(cfg.inter_packet_gap_s, &mut rng),
+                            )
                         };
                     }
                 }
@@ -220,8 +216,7 @@ pub fn collision_stats(tx_times: &[Vec<f64>], packet_duration_s: f64) -> (f64, V
             .map(|(i, _)| i)
             .collect();
         if !mine.is_empty() {
-            *fractions =
-                mine.iter().filter(|&&i| collided[i]).count() as f64 / mine.len() as f64;
+            *fractions = mine.iter().filter(|&&i| collided[i]).count() as f64 / mine.len() as f64;
         }
     }
     (frac, per_tx)
@@ -267,7 +262,10 @@ mod tests {
             with_cs.collision_fraction,
             without.collision_fraction
         );
-        assert!(without.collision_fraction > 0.15, "uncoordinated load should collide");
+        assert!(
+            without.collision_fraction > 0.15,
+            "uncoordinated load should collide"
+        );
     }
 
     #[test]
@@ -277,7 +275,11 @@ mod tests {
         // they should be rare.
         let (g, nf) = easy_gains(3);
         let r = simulate(&cfg(true, 40), &g, &nf, 3);
-        assert!(r.collision_fraction < 0.15, "residual {}", r.collision_fraction);
+        assert!(
+            r.collision_fraction < 0.15,
+            "residual {}",
+            r.collision_fraction
+        );
     }
 
     #[test]

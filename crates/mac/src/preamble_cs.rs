@@ -136,6 +136,9 @@ mod tests {
         for chunk in blast.chunks(960) {
             cs.feed(chunk);
         }
-        assert!(!cs.busy(), "tone blast must read idle under preamble sensing");
+        assert!(
+            !cs.busy(),
+            "tone blast must read idle under preamble sensing"
+        );
     }
 }

@@ -92,5 +92,8 @@ fn distant_transmitter_below_margin_reads_idle() {
     let packet = modulate_data(&params, Band::new(0, 59), &vec![0u8; 16]);
     medium.transmit(a, 48_000, &packet);
     cs.feed(&medium.capture(b, 53_000, 7_680));
-    assert!(!cs.busy(), "150 m transmitter should sit below the sense margin");
+    assert!(
+        !cs.busy(),
+        "150 m transmitter should sit below the sense margin"
+    );
 }

@@ -111,7 +111,11 @@ mod tests {
         let p = Preamble::new(params);
         let est = estimate(&params, &p, &p.samples);
         for k in 0..params.num_bins {
-            assert!((est.h[k].abs() - 1.0).abs() < 1e-6, "bin {k}: {}", est.h[k].abs());
+            assert!(
+                (est.h[k].abs() - 1.0).abs() < 1e-6,
+                "bin {k}: {}",
+                est.h[k].abs()
+            );
             assert!(est.snr_db[k] > 60.0, "bin {k}: {}", est.snr_db[k]);
         }
     }
@@ -156,7 +160,13 @@ mod tests {
         let delay = 16usize;
         let mut rx = vec![0.0; p.samples.len()];
         for i in 0..p.samples.len() {
-            rx[i] = p.samples[i] - 0.95 * if i >= delay { p.samples[i - delay] } else { 0.0 };
+            rx[i] = p.samples[i]
+                - 0.95
+                    * if i >= delay {
+                        p.samples[i - delay]
+                    } else {
+                        0.0
+                    };
         }
         let rx = awgn(&rx, 30.0, 7);
         let est = estimate(&params, &p, &rx);

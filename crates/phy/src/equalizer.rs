@@ -122,7 +122,7 @@ pub fn design_td(tx_core: &[f64], rx_core: &[f64], len: usize) -> Equalizer {
         *rv = acc;
     }
     r[0] *= 1.0 + 1e-3; // diagonal loading
-    // cross-correlation between delayed desired signal and received
+                        // cross-correlation between delayed desired signal and received
     let mut b = vec![0.0; len];
     for (k, bv) in b.iter_mut().enumerate() {
         let mut acc = 0.0;

@@ -63,7 +63,11 @@ pub struct FeedbackDecode {
 /// Decodes a feedback symbol by sliding an FFT window over `rx` (up to the
 /// maximum round-trip ambiguity) and picking the position where two bins
 /// dominate the band (§2.2.3). Returns `None` when nothing dominates.
-pub fn decode_feedback(params: &OfdmParams, rx: &[f64], min_quality: f64) -> Option<FeedbackDecode> {
+pub fn decode_feedback(
+    params: &OfdmParams,
+    rx: &[f64],
+    min_quality: f64,
+) -> Option<FeedbackDecode> {
     decode_feedback_whitened(params, rx, min_quality, None)
 }
 
@@ -177,10 +181,9 @@ fn decide_band(powers: &[f64]) -> (Band, f64) {
         // the second tone must stick out of the noise to count, and must
         // not be implausibly far below the first (fading between the two
         // tones tops out around 25 dB; -40 dB is numerical dust)
-        Some(j) if powers[j] > 6.0 * noise_floor && powers[j] > 1e-4 * p1 => (
-            Band::new(top1.min(j), top1.max(j)),
-            p1 + powers[j],
-        ),
+        Some(j) if powers[j] > 6.0 * noise_floor && powers[j] > 1e-4 * p1 => {
+            (Band::new(top1.min(j), top1.max(j)), p1 + powers[j])
+        }
         _ => (Band::new(top1, top1), p1),
     }
 }

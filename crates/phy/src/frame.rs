@@ -61,9 +61,15 @@ impl FrameConfig {
 
 /// Builds the header: preamble samples followed by the receiver-ID tone.
 pub fn build_header(cfg: &FrameConfig, preamble: &Preamble, receiver_id: u8) -> Vec<f64> {
-    assert!((receiver_id as usize) < cfg.params.num_bins, "ID beyond 60 devices");
+    assert!(
+        (receiver_id as usize) < cfg.params.num_bins,
+        "ID beyond 60 devices"
+    );
     let mut out = preamble.samples.clone();
-    out.extend(crate::feedback::encode_tone(&cfg.params, receiver_id as usize));
+    out.extend(crate::feedback::encode_tone(
+        &cfg.params,
+        receiver_id as usize,
+    ));
     out
 }
 

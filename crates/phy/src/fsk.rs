@@ -125,7 +125,10 @@ pub fn soft_metrics(params: &FskParams, rx: &[f64], offset: usize, n_bits: usize
 /// useful past the 113 m range where raw FSK starts failing (Fig. 12d).
 pub fn modulate_repetition(params: &FskParams, bits: &[u8], r: usize) -> Vec<f64> {
     assert!(r >= 1);
-    let expanded: Vec<u8> = bits.iter().flat_map(|&b| std::iter::repeat_n(b, r)).collect();
+    let expanded: Vec<u8> = bits
+        .iter()
+        .flat_map(|&b| std::iter::repeat_n(b, r))
+        .collect();
     modulate(params, &expanded)
 }
 
@@ -285,7 +288,10 @@ mod tests {
             let got1 = demodulate(&p, &noisy1, 0, bits.len());
             err_single += got1.iter().zip(&bits).filter(|(a, b)| a != b).count();
         }
-        assert!(err_rep <= err_single, "rep {err_rep} vs single {err_single}");
+        assert!(
+            err_rep <= err_single,
+            "rep {err_rep} vs single {err_single}"
+        );
     }
 
     #[test]

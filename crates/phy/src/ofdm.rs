@@ -87,7 +87,12 @@ pub fn modulate_data(params: &OfdmParams, band: Band, payload_bits: &[u8]) -> Ve
 /// XOR phase chain across symbols; `false` transmits absolute BPSK phases
 /// (the Fig. 14c "without differential coding" ablation, decoded coherently
 /// against the training symbol's channel estimate).
-pub fn modulate_coded(params: &OfdmParams, band: Band, coded: &[u8], differential: bool) -> Vec<f64> {
+pub fn modulate_coded(
+    params: &OfdmParams,
+    band: Band,
+    coded: &[u8],
+    differential: bool,
+) -> Vec<f64> {
     assert!(band.end < params.num_bins);
     let l = band.len();
     let amp = params.bin_amplitude(l);
@@ -230,7 +235,10 @@ pub fn demodulate_data(
     let soft_bits =
         aqua_coding::interleave::deinterleave_soft(&soft_per_symbol, band.len(), coded_len);
 
-    let coded_hard: Vec<u8> = soft_bits.iter().map(|&s| if s >= 0.0 { 0 } else { 1 }).collect();
+    let coded_hard: Vec<u8> = soft_bits
+        .iter()
+        .map(|&s| if s >= 0.0 { 0 } else { 1 })
+        .collect();
     let bits = decode_soft(&soft_bits, Rate::TwoThirds);
     Decoded {
         bits,
@@ -278,7 +286,12 @@ mod tests {
     #[test]
     fn clean_roundtrip_narrow_bands() {
         let p = params();
-        for band in [Band::new(10, 14), Band::new(30, 30), Band::new(0, 1), Band::new(55, 59)] {
+        for band in [
+            Band::new(10, 14),
+            Band::new(30, 30),
+            Band::new(0, 1),
+            Band::new(55, 59),
+        ] {
             let bits = rand_bits(16, band.start as u64);
             let tx = modulate_data(&p, band, &bits);
             let decoded = demodulate_data(&p, band, &tx, 16, &DecodeOptions::default());
@@ -341,8 +354,18 @@ mod tests {
                     ..DecodeOptions::default()
                 },
             );
-            err_eq += with_eq.bits.iter().zip(&bits).filter(|(a, b)| a != b).count();
-            err_raw += without.bits.iter().zip(&bits).filter(|(a, b)| a != b).count();
+            err_eq += with_eq
+                .bits
+                .iter()
+                .zip(&bits)
+                .filter(|(a, b)| a != b)
+                .count();
+            err_raw += without
+                .bits
+                .iter()
+                .zip(&bits)
+                .filter(|(a, b)| a != b)
+                .count();
         }
         assert!(err_eq <= err_raw, "eq errors {err_eq} vs raw {err_raw}");
         assert_eq!(err_eq, 0, "equalized decode should be clean");

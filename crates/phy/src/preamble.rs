@@ -74,7 +74,9 @@ impl Preamble {
 
 /// Smallest Zadoff–Chu root coprime with `len`.
 fn zc_root(len: usize) -> usize {
-    (2..len).find(|&r| aqua_dsp::cazac::gcd(r, len) == 1).unwrap_or(1)
+    (2..len)
+        .find(|&r| aqua_dsp::cazac::gcd(r, len) == 1)
+        .unwrap_or(1)
 }
 
 /// Detector thresholds and search parameters.
@@ -229,7 +231,10 @@ pub fn detect(rx: &[f64], preamble: &Preamble, cfg: &DetectorConfig) -> Option<D
     // preamble that can out-score the first arrival; synchronizing to the
     // echo turns the direct path into pre-cursor ISI. Take the earliest
     // acceptable arrival whose metric is within 75 % of the best.
-    let best_metric = accepted.iter().map(|d| d.metric).fold(f64::NEG_INFINITY, f64::max);
+    let best_metric = accepted
+        .iter()
+        .map(|d| d.metric)
+        .fold(f64::NEG_INFINITY, f64::max);
     accepted
         .into_iter()
         .filter(|d| d.metric >= 0.75 * best_metric)
@@ -321,7 +326,8 @@ mod tests {
         for burst in 0..10 {
             let pos = 1500 + burst * 1700;
             for i in 0..60 {
-                rx[pos + i] += 3.0 * ((-(i as f64)) / 15.0).exp() * if i % 2 == 0 { 1.0 } else { -1.0 };
+                rx[pos + i] +=
+                    3.0 * ((-(i as f64)) / 15.0).exp() * if i % 2 == 0 { 1.0 } else { -1.0 };
             }
         }
         assert!(detect(&rx, &p, &DetectorConfig::default()).is_none());

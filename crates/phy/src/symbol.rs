@@ -100,7 +100,10 @@ mod tests {
         let sym = synthesize(&p, &values);
         let core = &sym[p.cp..];
         let rms = (core.iter().map(|v| v * v).sum::<f64>() / core.len() as f64).sqrt();
-        assert!((rms - p.target_rms).abs() / p.target_rms < 1e-9, "rms {rms}");
+        assert!(
+            (rms - p.target_rms).abs() / p.target_rms < 1e-9,
+            "rms {rms}"
+        );
     }
 
     #[test]

@@ -61,8 +61,7 @@ impl MessagePacket {
         }
         Some(Self {
             first,
-            second: (second != NO_MESSAGE && (second as usize) < MESSAGE_COUNT)
-                .then_some(second),
+            second: (second != NO_MESSAGE && (second as usize) < MESSAGE_COUNT).then_some(second),
         })
     }
 }

@@ -28,22 +28,75 @@ fn main() {
     let mut messenger = Messenger::new(env, 7);
 
     let script = [
-        Step { from_alice: true, text: "Buddy check", distance_m: 3.0, moving: false },
-        Step { from_alice: false, text: "I am OK", distance_m: 3.0, moving: false },
-        Step { from_alice: true, text: "Follow me", distance_m: 5.0, moving: true },
-        Step { from_alice: false, text: "Slow down", distance_m: 12.0, moving: true },
-        Step { from_alice: true, text: "Look", distance_m: 12.0, moving: false },
-        Step { from_alice: true, text: "Turtle", distance_m: 12.0, moving: false },
-        Step { from_alice: false, text: "Take a photo", distance_m: 8.0, moving: true },
-        Step { from_alice: true, text: "Half tank", distance_m: 8.0, moving: false },
-        Step { from_alice: false, text: "Turn the dive", distance_m: 8.0, moving: false },
-        Step { from_alice: true, text: "End of dive", distance_m: 4.0, moving: false },
+        Step {
+            from_alice: true,
+            text: "Buddy check",
+            distance_m: 3.0,
+            moving: false,
+        },
+        Step {
+            from_alice: false,
+            text: "I am OK",
+            distance_m: 3.0,
+            moving: false,
+        },
+        Step {
+            from_alice: true,
+            text: "Follow me",
+            distance_m: 5.0,
+            moving: true,
+        },
+        Step {
+            from_alice: false,
+            text: "Slow down",
+            distance_m: 12.0,
+            moving: true,
+        },
+        Step {
+            from_alice: true,
+            text: "Look",
+            distance_m: 12.0,
+            moving: false,
+        },
+        Step {
+            from_alice: true,
+            text: "Turtle",
+            distance_m: 12.0,
+            moving: false,
+        },
+        Step {
+            from_alice: false,
+            text: "Take a photo",
+            distance_m: 8.0,
+            moving: true,
+        },
+        Step {
+            from_alice: true,
+            text: "Half tank",
+            distance_m: 8.0,
+            moving: false,
+        },
+        Step {
+            from_alice: false,
+            text: "Turn the dive",
+            distance_m: 8.0,
+            moving: false,
+        },
+        Step {
+            from_alice: true,
+            text: "End of dive",
+            distance_m: 4.0,
+            moving: false,
+        },
     ];
 
     let book = messages::codebook();
     let mut delivered = 0usize;
     for (i, step) in script.iter().enumerate() {
-        let msg = book.iter().find(|m| m.text == step.text).expect("message in codebook");
+        let msg = book
+            .iter()
+            .find(|m| m.text == step.text)
+            .expect("message in codebook");
         let (tx, rx) = positions(step.distance_m, step.from_alice);
         let who = if step.from_alice { "Alice" } else { "Bob  " };
         let traj = step.moving.then(|| Trajectory::slow(tx, 100 + i as u64));

@@ -30,8 +30,14 @@ fn main() {
     report(&outcome);
 
     // Bob replies with two signals in one 16-bit packet.
-    let ok = messages::codebook().into_iter().find(|m| m.text == "I am OK").unwrap();
-    let up = messages::codebook().into_iter().find(|m| m.text == "Go up").unwrap();
+    let ok = messages::codebook()
+        .into_iter()
+        .find(|m| m.text == "I am OK")
+        .unwrap();
+    let up = messages::codebook()
+        .into_iter()
+        .find(|m| m.text == "Go up")
+        .unwrap();
     println!("\nBob -> Alice: {:?} + {:?}", ok.text, up.text);
     let outcome = messenger.send(bob, alice, MessagePacket::pair(ok.id, up.id));
     report(&outcome);

@@ -8,8 +8,8 @@
 use aqua_channel::environments::{Environment, Site};
 use aqua_channel::geometry::Pos;
 use aqua_channel::link::{Link, LinkConfig};
-use aqua_proto::packet::SosBeacon;
 use aqua_phy::fsk::{demodulate, modulate, FskParams};
+use aqua_proto::packet::SosBeacon;
 
 fn main() {
     println!("SOS beacon over the beach site (1 m depth)\n");

@@ -50,16 +50,15 @@ fn main() {
         .cloned()
         .fold(1e-30, f64::max);
 
-    println!(
-        "What Bob hears (lake, 10 m) — time -> rows, frequency -> columns (0.5-4.5 kHz)\n"
-    );
+    println!("What Bob hears (lake, 10 m) — time -> rows, frequency -> columns (0.5-4.5 kHz)\n");
     println!("          {}", "-".repeat(hi - lo));
     for (f, t) in st.frames.iter().zip(&st.times) {
         let row: String = f[lo..hi]
             .iter()
             .map(|&p| {
                 let db = 10.0 * (p / peak).max(1e-12).log10();
-                let idx = (((db + 48.0) / 48.0).clamp(0.0, 1.0) * (SHADES.len() - 1) as f64) as usize;
+                let idx =
+                    (((db + 48.0) / 48.0).clamp(0.0, 1.0) * (SHADES.len() - 1) as f64) as usize;
                 SHADES[idx]
             })
             .collect();
@@ -67,8 +66,13 @@ fn main() {
         println!("{t:>6.2} s |{row}| {label}");
     }
     println!("          {}", "-".repeat(hi - lo));
-    println!("\nband sent: bins {}..{} = {:.0}-{:.0} Hz", band.start, band.end,
-        frame.params.bin_freq_hz(band.start), frame.params.bin_freq_hz(band.end));
+    println!(
+        "\nband sent: bins {}..{} = {:.0}-{:.0} Hz",
+        band.start,
+        band.end,
+        frame.params.bin_freq_hz(band.start),
+        frame.params.bin_freq_hz(band.end)
+    );
 }
 
 fn annotate(t: f64, frame: &FrameConfig) -> &'static str {

@@ -6,9 +6,9 @@ use aqua_channel::environments::{Environment, Site};
 use aqua_channel::geometry::Pos;
 use aqua_channel::link::{Link, LinkConfig};
 use aqua_channel::mobility::Trajectory;
+use aqua_phy::fsk::{demodulate, modulate, FskParams};
 use aqua_proto::messages;
 use aqua_proto::packet::{MessagePacket, SosBeacon};
-use aqua_phy::fsk::{demodulate, modulate, FskParams};
 use aquapp::trial::{run_trial, Scheme, TrialConfig};
 use aquapp::Messenger;
 
@@ -101,7 +101,11 @@ fn deep_water_hard_case_link_works() {
     cfg.bob_device.case = CaseKind::HardCase;
     let r = run_trial(&cfg);
     assert!(r.preamble_detected, "preamble at 12 m depth");
-    assert!(r.packet_ok, "decode at 12 m depth (coded BER {})", r.coded_ber);
+    assert!(
+        r.packet_ok,
+        "decode at 12 m depth (coded BER {})",
+        r.coded_ber
+    );
 }
 
 #[test]
@@ -144,5 +148,46 @@ fn stale_band_is_riskier_than_fresh_feedback_under_motion() {
     assert!(
         fresh_ber <= stale_ber + 0.05,
         "fresh {fresh_ber} vs stale {stale_ber}"
+    );
+}
+
+#[test]
+fn umbrella_reexports_carry_a_packet_end_to_end() {
+    // Workspace smoke test: drive one packet exchange using only the
+    // `aqua_modem` umbrella re-exports, so tier-1 catches any wiring break
+    // between the root crate and its members.
+    let env = aqua_modem::aqua_channel::environments::Environment::preset(
+        aqua_modem::aqua_channel::environments::Site::Lake,
+    );
+    let mut messenger = aqua_modem::aquapp::Messenger::new(env, 31);
+    let msg = aqua_modem::aqua_proto::messages::common_messages()[0];
+    let out = messenger.send(
+        aqua_modem::aqua_channel::geometry::Pos::new(0.0, 0.0, 1.0),
+        aqua_modem::aqua_channel::geometry::Pos::new(5.0, 0.0, 1.0),
+        aqua_modem::aqua_proto::packet::MessagePacket::single(msg.id),
+    );
+    assert!(
+        out.trial.preamble_detected,
+        "preamble lost through umbrella"
+    );
+    assert!(out.trial.packet_ok, "packet lost through umbrella");
+    assert_eq!(out.received[0].id, msg.id);
+
+    // The remaining re-exported layers must at least resolve and agree on
+    // basic invariants.
+    let fft = aqua_modem::aqua_dsp::fft::Fft::new(64);
+    let mut buf = vec![aqua_modem::aqua_dsp::complex::Complex::real(1.0); 64];
+    fft.forward(&mut buf);
+    assert!((buf[0].re - 64.0).abs() < 1e-9);
+    let coded = aqua_modem::aqua_coding::conv::encode(
+        &[1, 0, 1, 1],
+        aqua_modem::aqua_coding::conv::Rate::Half,
+    );
+    assert_eq!(
+        aqua_modem::aqua_coding::viterbi::decode_hard(
+            &coded,
+            aqua_modem::aqua_coding::conv::Rate::Half
+        ),
+        vec![1, 0, 1, 1]
     );
 }

@@ -7,10 +7,10 @@ use aqua_coding::viterbi::decode_hard;
 use aqua_dsp::cazac::zadoff_chu;
 use aqua_dsp::complex::Complex;
 use aqua_dsp::fft::Fft;
+use aqua_phy::bandselect::Band;
 use aqua_phy::bandselect::{select_band, select_band_reference, BandSelectConfig};
 use aqua_phy::ofdm::{demodulate_data, modulate_data, DecodeOptions};
 use aqua_phy::params::OfdmParams;
-use aqua_phy::bandselect::Band;
 use proptest::prelude::*;
 
 proptest! {

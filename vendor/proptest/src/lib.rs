@@ -1,0 +1,377 @@
+//! Offline stand-in for the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! this minimal implementation. It keeps the ergonomics of the real crate —
+//! the [`proptest!`] macro, range/`any`/[`collection::vec`] strategies, and
+//! the `prop_assert*` family — but replaces the engine with plain seeded
+//! random sampling:
+//!
+//! - Inputs are drawn deterministically (seeded per test name), so failures
+//!   reproduce across runs and machines.
+//! - There is **no shrinking**: a failing case panics with the ordinary
+//!   `assert!` message for the sampled inputs.
+//! - `prop_assume!` skips the current case rather than resampling, so each
+//!   test effectively runs *up to* `cases` iterations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A source of random test inputs (one per generated test function).
+#[derive(Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates a deterministic generator for the named test.
+    pub fn for_test(test_name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self(StdRng::seed_from_u64(h))
+    }
+
+    /// The underlying `rand` generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A generator of random values of type `Value`.
+///
+/// Unlike the real crate there is no value tree or shrinking; a strategy is
+/// simply a sampler.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.rng().gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng().gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, spanning several orders of magnitude.
+        let mag = rng.rng().gen_range(-300.0f64..300.0);
+        let sign = if rng.rng().gen::<bool>() { 1.0 } else { -1.0 };
+        sign * mag
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing any value of `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A length specification for [`vec()`]: a fixed `usize`, `a..b`, or `a..=b`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            Self {
+                lo,
+                hi_inclusive: hi,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`, from [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.rng().gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Builds a `Vec` strategy from an element strategy and a length spec.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a [`proptest!`] test body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its sampled inputs don't satisfy a
+/// precondition. (The real crate resamples; this shim just moves on.)
+///
+/// Each case's body runs inside a closure, so this expands to an early
+/// `return` that abandons the whole case — even from inside a loop in the
+/// test body, matching the real crate's rejection semantics.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)
+/// { body }` runs `body` for `cases` sampled inputs.
+///
+/// Supports the `#![proptest_config(...)]` header. Attributes (including
+/// the explicit `#[test]`, as in the real crate) and doc comments are
+/// passed through to the generated function, so `#[ignore]` /
+/// `#[should_panic]` keep working.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn, recurses.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                // One closure per case so prop_assume! can abandon the
+                // case with `return` from any nesting depth.
+                (move || $body)();
+            }
+        }
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Range strategies respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in -1.5f64..2.5, z in 1u64..=1) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&y));
+            prop_assert_eq!(z, 1);
+        }
+
+        /// Vec strategies respect their size spec.
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(any::<u8>(), 2..5), w in crate::collection::vec(0.0f64..1.0, 7)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert_eq!(w.len(), 7);
+            prop_assert!(w.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        /// prop_assume skips cases without failing the test.
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        /// prop_assume abandons the whole case even from inside a loop in
+        /// the test body (it must not merely `continue` the inner loop).
+        #[test]
+        fn assume_exits_case_from_inner_loop(n in 0u32..10) {
+            let mut iterations = 0u32;
+            for _ in 0..3 {
+                prop_assume!(n > 9); // never holds: every case is rejected
+                iterations += 1;
+            }
+            // Unreachable if assume rejected the case at the first loop
+            // iteration; under `continue` semantics we'd get here with
+            // iterations == 0 and fail.
+            prop_assert!(iterations == 3, "assume leaked into the loop");
+        }
+
+        /// Attributes written inside proptest! reach the generated fn.
+        #[test]
+        #[should_panic(expected = "deliberate")]
+        fn attributes_pass_through(x in 0u8..10) {
+            let _ = x;
+            panic!("deliberate");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        let s = 0.0f64..1.0;
+        for _ in 0..16 {
+            assert_eq!(s.sample(&mut a).to_bits(), s.sample(&mut b).to_bits());
+        }
+    }
+}
