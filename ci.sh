@@ -22,4 +22,31 @@ cargo build --examples
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+echo "==> perf smoke: dsp_hot_paths against the §3 runtime budget (2x slack)"
+BENCH_OUT=$(cargo bench -p aqua-bench --bench dsp_hot_paths)
+echo "$BENCH_OUT"
+check_budget() {
+  # check_budget <bench-name> <budget-ms>: parses the criterion-shim line
+  # "  <name>: mean 1.234 ms (min ...)" and fails when mean > budget.
+  local name="$1" budget_ms="$2" line ms
+  line=$(echo "$BENCH_OUT" | grep -F "$name: mean") || {
+    echo "perf-smoke FAIL: bench '$name' not found in output"
+    exit 1
+  }
+  # -n/p: print only on a real match, so a format drift in the criterion
+  # shim fails the gate instead of silently parsing to zero
+  ms=$(echo "$line" | sed -nE 's/.*mean ([0-9.]+) (ns|µs|ms|s) .*/\1 \2/p' |
+    awk '{v=$1; if ($2=="ns") v/=1e6; else if ($2=="µs") v/=1e3; else if ($2=="s") v*=1e3; print v}')
+  if [ -z "$ms" ]; then
+    echo "perf-smoke FAIL: cannot parse timing from '$line'"
+    exit 1
+  fi
+  awk -v v="$ms" -v b="$budget_ms" -v n="$name" 'BEGIN {
+    if (v > b) { printf "perf-smoke FAIL: %s mean %.3f ms > budget %s ms\n", n, v, b; exit 1 }
+    printf "perf-smoke ok: %s mean %.3f ms (budget %s ms)\n", n, v, b
+  }'
+}
+check_budget "feedback_decode_rtt_window" 2
+check_budget "preamble_detect_0.33s_buffer" 10
+
 echo "CI green."

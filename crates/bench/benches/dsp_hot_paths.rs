@@ -12,9 +12,9 @@ use aqua_phy::bandselect::Band;
 use aqua_phy::bandselect::{select_band, BandSelectConfig};
 use aqua_phy::chanest::estimate;
 use aqua_phy::equalizer::{design_fd, DEFAULT_EQ_LEN};
-use aqua_phy::feedback::{decode_feedback, encode_feedback};
+use aqua_phy::feedback::{decode_feedback, decode_feedback_batch, encode_feedback};
 use aqua_phy::params::OfdmParams;
-use aqua_phy::preamble::{detect, DetectorConfig, Preamble};
+use aqua_phy::preamble::{detect, DetectorConfig, Preamble, StreamingDetector};
 
 fn fft_960(c: &mut Criterion) {
     let plan = aqua_dsp::fft::Fft::new(960);
@@ -45,7 +45,35 @@ fn preamble_pipeline(c: &mut Criterion) {
         s ^= s << 17;
         *v += ((s as f64 / u64::MAX as f64) - 0.5) * 0.02;
     }
+    // the live path: a long-lived streaming detector (template spectrum
+    // cached) scanning one 0.33 s buffer; `reset` keeps the plan between
+    // iterations like a real receiver keeps it between buffers
+    let mut streaming = StreamingDetector::new(preamble.clone(), DetectorConfig::default());
     c.bench_function("preamble_detect_0.33s_buffer", |b| {
+        b.iter(|| {
+            streaming.reset();
+            let mut found = streaming.push(black_box(&rx));
+            found.extend(streaming.flush());
+            black_box(found)
+        })
+    });
+
+    // same buffer chopped into 20 ms audio callbacks with the receiver's
+    // one-symbol latency bound — the realtime duty-cycle number
+    c.bench_function("preamble_scan_20ms_callbacks", |b| {
+        b.iter(|| {
+            streaming.reset();
+            let mut found = Vec::new();
+            for chunk in rx.chunks(960) {
+                found.extend(streaming.push(black_box(chunk)));
+                found.extend(streaming.poll(params.n_fft));
+            }
+            black_box(found)
+        })
+    });
+
+    // the batch rescan kept as the reference oracle
+    c.bench_function("preamble_detect_batch_reference", |b| {
         b.iter(|| {
             black_box(detect(
                 black_box(&rx),
@@ -77,8 +105,13 @@ fn feedback_pipeline(c: &mut Criterion) {
     let mut rx = vec![0.0; 1920]; // max RTT at 30 m ≈ 40 ms window
     rx.extend_from_slice(&sym);
     rx.extend(vec![0.0; 500]);
+    // the live path: sliding-Goertzel bank, O(num_bins) per sample
     c.bench_function("feedback_decode_rtt_window", |b| {
         b.iter(|| black_box(decode_feedback(&params, black_box(&rx), 0.3)))
+    });
+    // the FFT-per-window oracle the sliding path is tested against
+    c.bench_function("feedback_decode_batch_reference", |b| {
+        b.iter(|| black_box(decode_feedback_batch(&params, black_box(&rx), 0.3, None)))
     });
 }
 

@@ -1,12 +1,13 @@
 //! Streaming receiver: the continuously-listening state machine a phone
 //! runs (§3: "preamble detection running continuously in real-time").
 //!
-//! Audio arrives in blocks from the [`crate::node::AudioBackend`]; the
-//! receiver buffers enough history to detect a preamble anywhere in the
-//! stream, then walks the §2.2 sequence: verify the receiver ID, estimate
-//! SNR, select the band, emit the feedback waveform for the app to play,
-//! and finally locate and decode the data section — emitting events at
-//! each stage.
+//! Audio arrives in blocks from the [`crate::node::AudioBackend`]; every
+//! filtered sample is fed once through a [`StreamingDetector`] — the
+//! overlap-save front-end that replaced the per-push batch rescans — and
+//! the receiver walks the §2.2 sequence from each detection it emits:
+//! verify the receiver ID, estimate SNR, select the band, emit the
+//! feedback waveform for the app to play, and finally locate and decode
+//! the data section — emitting events at each stage.
 
 use aqua_coding::bits::bits_to_value;
 use aqua_dsp::fir::{design_bandpass, StreamingFir};
@@ -16,7 +17,8 @@ use aqua_phy::chanest::estimate;
 use aqua_phy::feedback::{decode_tone, encode_feedback};
 use aqua_phy::frame::{locate_training, FrameConfig};
 use aqua_phy::ofdm::{demodulate_data, DecodeOptions};
-use aqua_phy::preamble::{detect, DetectorConfig, Preamble};
+use aqua_phy::preamble::{Detection, DetectorConfig, Preamble, StreamingDetector};
+use std::collections::VecDeque;
 
 /// Events emitted by the streaming receiver as a packet progresses.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,7 +70,6 @@ pub struct StreamingReceiver {
     frame: FrameConfig,
     preamble: Preamble,
     my_id: u8,
-    detector: DetectorConfig,
     band_cfg: BandSelectConfig,
     decode: DecodeOptions,
     /// Bandpassed stream history.
@@ -76,8 +77,15 @@ pub struct StreamingReceiver {
     /// Absolute stream index of `buffer[0]`.
     buffer_start: usize,
     front_end: StreamingFir,
+    /// Streaming preamble front-end: every filtered sample is pushed once;
+    /// detections arrive with absolute stream offsets.
+    detector: StreamingDetector,
+    /// Detections emitted by the detector, not yet consumed by the state
+    /// machine (the detector keeps scanning while data is being decoded).
+    detections: VecDeque<Detection>,
     state: State,
-    /// Index up to which scanning has already been performed.
+    /// Stream index below which detections are stale (already-handled
+    /// headers, decoded data sections).
     scanned_to: usize,
 }
 
@@ -86,11 +94,12 @@ impl StreamingReceiver {
     pub fn new(frame: FrameConfig, my_id: u8) -> Self {
         let params = frame.params;
         let taps = design_bandpass(129, 850.0, 4150.0, params.fs, Window::Hamming);
+        let preamble = Preamble::new(params);
         Self {
             frame,
-            preamble: Preamble::new(params),
+            detector: StreamingDetector::new(preamble.clone(), DetectorConfig::default()),
+            preamble,
             my_id,
-            detector: DetectorConfig::default(),
             band_cfg: BandSelectConfig::default(),
             decode: DecodeOptions {
                 bandpass: false, // the streaming front end already filters
@@ -99,6 +108,7 @@ impl StreamingReceiver {
             buffer: Vec::new(),
             buffer_start: 0,
             front_end: StreamingFir::new(taps),
+            detections: VecDeque::new(),
             state: State::Scanning,
             scanned_to: 0,
         }
@@ -107,6 +117,11 @@ impl StreamingReceiver {
     /// Feeds one audio block; returns any events it produced.
     pub fn push(&mut self, block: &[f64]) -> Vec<RxEvent> {
         let filtered = self.front_end.process(block);
+        self.detections.extend(self.detector.push(&filtered));
+        // the feedback protocol gives us only the inter-frame gap to
+        // answer, so bound detection latency to one symbol core
+        let poll_budget = self.frame.params.n_fft;
+        self.detections.extend(self.detector.poll(poll_budget));
         self.buffer.extend(filtered);
         let mut events = Vec::new();
         loop {
@@ -123,26 +138,24 @@ impl StreamingReceiver {
     fn step(&mut self, events: &mut Vec<RxEvent>) {
         match &self.state {
             State::Scanning => {
-                // scan only once per stream region
                 let params = self.frame.params;
-                let window_start = self.scanned_to.max(self.buffer_start) - self.buffer_start;
-                if self.buffer.len() < window_start + self.preamble.len() + params.symbol_len() {
-                    return;
+                // drop detections inside already-handled stream regions
+                while self
+                    .detections
+                    .front()
+                    .is_some_and(|d| d.offset < self.scanned_to.max(self.buffer_start))
+                {
+                    self.detections.pop_front();
                 }
-                let window = &self.buffer[window_start..];
-                let Some(det) = detect(window, &self.preamble, &self.detector) else {
-                    // nothing here; mark the region scanned, keeping one
-                    // preamble length of overlap for boundary-straddling
-                    // preambles
-                    self.scanned_to = self.buffer_start + self.buffer.len()
-                        - self.preamble.len().min(self.buffer.len());
+                let Some(det) = self.detections.front().copied() else {
                     return;
                 };
-                let offset = window_start + det.offset;
+                let offset = det.offset - self.buffer_start;
                 // need the full header (preamble + ID symbol) in buffer
                 if self.buffer.len() < offset + self.preamble.len() + params.symbol_len() {
                     return;
                 }
+                self.detections.pop_front();
                 events.push(RxEvent::PreambleDetected { metric: det.metric });
                 let id_start = offset + self.preamble.len();
                 let id_window = &self.buffer[id_start..id_start + params.symbol_len()];
@@ -217,17 +230,17 @@ impl StreamingReceiver {
         }
     }
 
-    /// Drops history the state machine can no longer need.
+    /// Drops history the state machine can no longer need: nothing below
+    /// the detector's low watermark, the oldest queued detection, or the
+    /// awaited data section may go.
     fn trim(&mut self) {
-        let keep_from = match &self.state {
-            State::Scanning => {
-                let margin = 2 * self.preamble.len() + 4 * self.frame.params.symbol_len();
-                (self.scanned_to.max(self.buffer_start)).saturating_sub(margin)
-            }
-            State::AwaitingData { data_due, .. } => {
-                data_due.saturating_sub(4 * self.frame.params.cp)
-            }
-        };
+        let mut keep_from = self.detector.low_watermark();
+        if let Some(d) = self.detections.front() {
+            keep_from = keep_from.min(d.offset);
+        }
+        if let State::AwaitingData { data_due, .. } = &self.state {
+            keep_from = keep_from.min(data_due.saturating_sub(4 * self.frame.params.cp));
+        }
         if keep_from > self.buffer_start {
             let drop = (keep_from - self.buffer_start).min(self.buffer.len());
             self.buffer.drain(..drop);

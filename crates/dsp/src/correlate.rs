@@ -1,9 +1,15 @@
 //! Cross-correlation primitives used by preamble detection.
 //!
-//! Coarse packet detection cross-correlates the incoming stream against the
-//! known preamble (FFT-accelerated); the fine stage uses normalized
-//! segment-to-segment sliding correlation, implemented in `aqua-phy` on top
-//! of the primitives here.
+//! Coarse packet detection cross-correlates the incoming stream against
+//! the known preamble; the fine stage uses normalized segment-to-segment
+//! sliding correlation, implemented in `aqua-phy` on top of the primitives
+//! here. Three implementations share one contract:
+//!
+//! - [`xcorr_valid`] — the naive O(N·M) time-domain loop, kept as the
+//!   reference oracle the others are tested against.
+//! - [`xcorr_valid_fft`] — one-shot FFT acceleration for offline buffers.
+//! - [`crate::stream::OverlapSaveCorrelator`] — streaming overlap-save
+//!   block convolution for the live receiver path.
 
 use crate::complex::{Complex, ZERO};
 use crate::fft::planner;
@@ -12,7 +18,15 @@ use crate::fft::planner;
 /// `out[i] = Σ_j signal[i+j]·template[j]` for `i` in
 /// `0..=signal.len()-template.len()`.
 ///
-/// Returns an empty vector when the template is longer than the signal.
+/// This is the *naive O(N·M) time-domain reference*. It is exact (no FFT
+/// rounding) but far too slow for the receiver hot path — use
+/// [`xcorr_valid_fft`] for offline buffers and
+/// [`crate::stream::OverlapSaveCorrelator`] for live streams; both are
+/// regression-tested against this loop.
+///
+/// Degenerate inputs: returns an empty vector when `template` is empty,
+/// when `signal` is empty, or when the template is longer than the signal
+/// (there is no complete window, hence no valid lag).
 pub fn xcorr_valid(signal: &[f64], template: &[f64]) -> Vec<f64> {
     if template.is_empty() || signal.len() < template.len() {
         return Vec::new();
@@ -29,9 +43,15 @@ pub fn xcorr_valid(signal: &[f64], template: &[f64]) -> Vec<f64> {
     out
 }
 
-/// FFT-accelerated version of [`xcorr_valid`]. Identical output, much faster
-/// for long signals/templates (correlation = convolution with the reversed
-/// template).
+/// FFT-accelerated version of [`xcorr_valid`]. Identical output up to FFT
+/// rounding (≈1e-12 relative), much faster for long signals/templates
+/// (correlation = convolution with the reversed template). Transforms the
+/// whole buffer in one shot — for chunked/streaming input use
+/// [`crate::stream::OverlapSaveCorrelator`] instead.
+///
+/// Degenerate inputs: same contract as [`xcorr_valid`] — empty output for
+/// an empty template, an empty signal, or a template longer than the
+/// signal.
 pub fn xcorr_valid_fft(signal: &[f64], template: &[f64]) -> Vec<f64> {
     if template.is_empty() || signal.len() < template.len() {
         return Vec::new();
@@ -55,7 +75,10 @@ pub fn xcorr_valid_fft(signal: &[f64], template: &[f64]) -> Vec<f64> {
 
 /// Normalized cross-correlation: [`xcorr_valid_fft`] divided by the product
 /// of the template norm and the local signal norm over each window. Output
-/// values lie in [-1, 1] (up to rounding).
+/// values lie in [-1, 1] (up to rounding); windows whose energy product
+/// falls below 1e-30 (near-silence) yield exactly `0.0` rather than
+/// dividing by dust. Degenerate inputs return an empty vector, as in
+/// [`xcorr_valid`].
 pub fn xcorr_normalized(signal: &[f64], template: &[f64]) -> Vec<f64> {
     let raw = xcorr_valid_fft(signal, template);
     if raw.is_empty() {
@@ -195,5 +218,47 @@ mod tests {
         assert!(xcorr_valid_fft(&[], &[1.0]).is_empty());
         assert!(sliding_energy(&[1.0, 2.0], 5).is_empty());
         assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn degenerate_inputs_share_one_contract_across_implementations() {
+        // every (signal, template) pair with no complete window must yield
+        // an empty output from all three implementations
+        let sig = [1.0, 2.0, 3.0];
+        let cases: [(&[f64], &[f64]); 4] = [
+            (&sig, &[]),       // empty template
+            (&[], &[1.0]),     // empty signal
+            (&[], &[]),        // both empty
+            (&sig[..2], &sig), // template longer than signal
+        ];
+        for (s, t) in cases {
+            assert!(xcorr_valid(s, t).is_empty(), "naive: {s:?} vs {t:?}");
+            assert!(xcorr_valid_fft(s, t).is_empty(), "fft: {s:?} vs {t:?}");
+            assert!(xcorr_normalized(s, t).is_empty(), "norm: {s:?} vs {t:?}");
+        }
+    }
+
+    #[test]
+    fn template_equal_to_signal_yields_single_lag() {
+        let s = [0.5, -1.0, 2.0];
+        let direct = xcorr_valid(&s, &s);
+        let fft = xcorr_valid_fft(&s, &s);
+        assert_eq!(direct.len(), 1);
+        assert_eq!(fft.len(), 1);
+        let energy: f64 = s.iter().map(|v| v * v).sum();
+        assert!((direct[0] - energy).abs() < 1e-12);
+        assert!((fft[0] - energy).abs() < 1e-9);
+        let norm = xcorr_normalized(&s, &s);
+        assert!((norm[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn silent_window_normalizes_to_zero_not_nan() {
+        let mut sig = vec![0.0; 64];
+        sig[40] = 1.0;
+        let template = [1.0, 1.0, 1.0, 1.0];
+        let corr = xcorr_normalized(&sig, &template);
+        assert!(corr.iter().all(|v| v.is_finite()));
+        assert_eq!(corr[0], 0.0, "all-zero window must yield exactly 0.0");
     }
 }

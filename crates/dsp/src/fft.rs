@@ -80,8 +80,53 @@ impl Fft {
             b.transform(data, self.len);
             return;
         }
+        if self.len.is_power_of_two() {
+            self.radix2_iterative(data);
+            return;
+        }
         let mut scratch = vec![ZERO; self.len];
         self.recurse(data, &mut scratch, self.len, 1, 0);
+    }
+
+    /// In-place iterative radix-2 FFT (bit-reversal permutation + butterfly
+    /// stages) for power-of-two lengths — the sizes Bluestein and the
+    /// overlap-save convolution engine hit hardest.
+    fn radix2_iterative(&self, data: &mut [Complex]) {
+        let n = self.len;
+        if n == 1 {
+            return;
+        }
+        // Bit-reversal permutation via a reversed-increment counter.
+        let mut j = 0usize;
+        for i in 0..n {
+            if i < j {
+                data.swap(i, j);
+            }
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+        }
+        // Butterfly stages: at half-size h the twiddle is e^{-2πi k/(2h)},
+        // i.e. table index k·(n/2h).
+        let mut h = 1usize;
+        while h < n {
+            let stride = n / (2 * h);
+            let mut base = 0;
+            while base < n {
+                for k in 0..h {
+                    let w = self.twiddles[k * stride];
+                    let t = w * data[base + h + k];
+                    let a = data[base + k];
+                    data[base + k] = a + t;
+                    data[base + h + k] = a - t;
+                }
+                base += 2 * h;
+            }
+            h *= 2;
+        }
     }
 
     /// Inverse DFT with `1/N` normalization.
@@ -137,22 +182,80 @@ impl Fft {
             );
         }
 
-        // Combine: X[q + m*s] = Σ_l tw(l*(q + m*s)) · Y_l[q].
-        {
-            let (dst, _) = scratch.split_at_mut(n);
-            for s in 0..r {
-                for q in 0..m {
-                    let k = q + m * s;
-                    let mut acc = ZERO;
-                    for l in 0..r {
-                        // twiddle index l*k*stride mod len
-                        let idx = (l * k * stride) % self.len;
-                        acc += self.twiddles[idx] * data[l * m + q];
+        // Combine: X[q + m*s] = Σ_l tw(l*(q + m*s)) · Y_l[q]. The radices
+        // that occur in the modem sizes (2^a·3^b·5^c) get in-place
+        // butterflies with direct twiddle lookups; other primes fall back to
+        // the generic scratch loop.
+        match r {
+            2 => self.combine2(data, m, stride),
+            3 => self.combine3(data, m, stride),
+            5 => self.combine5(data, m, stride),
+            _ => {
+                let (dst, _) = scratch.split_at_mut(n);
+                for s in 0..r {
+                    for q in 0..m {
+                        let k = q + m * s;
+                        let mut acc = ZERO;
+                        for l in 0..r {
+                            // twiddle index l*k*stride mod len
+                            let idx = (l * k * stride) % self.len;
+                            acc += self.twiddles[idx] * data[l * m + q];
+                        }
+                        dst[k] = acc;
                     }
-                    dst[k] = acc;
                 }
+                data[..n].copy_from_slice(dst);
             }
-            data[..n].copy_from_slice(dst);
+        }
+    }
+
+    /// Radix-2 combine over `data[0..2m]`: `tw[(q+m)·stride] = −tw[q·stride]`
+    /// because `2·m·stride = len`, so each pair needs one twiddle.
+    fn combine2(&self, data: &mut [Complex], m: usize, stride: usize) {
+        for q in 0..m {
+            let w = self.twiddles[q * stride];
+            let t = w * data[m + q];
+            let a = data[q];
+            data[q] = a + t;
+            data[m + q] = a - t;
+        }
+    }
+
+    /// Radix-3 combine over `data[0..3m]` using the cube roots of unity
+    /// `ω^s = tw[s·len/3]` to shift between output thirds.
+    fn combine3(&self, data: &mut [Complex], m: usize, stride: usize) {
+        let w3 = self.twiddles[self.len / 3];
+        let w3_2 = self.twiddles[2 * self.len / 3];
+        for q in 0..m {
+            let b = self.twiddles[q * stride] * data[m + q];
+            let c = self.twiddles[2 * q * stride] * data[2 * m + q];
+            let a = data[q];
+            data[q] = a + b + c;
+            data[m + q] = a + w3 * b + w3_2 * c;
+            data[2 * m + q] = a + w3_2 * b + w3 * c;
+        }
+    }
+
+    /// Radix-5 combine over `data[0..5m]` using the fifth roots of unity
+    /// `ω^s = tw[s·len/5]`.
+    fn combine5(&self, data: &mut [Complex], m: usize, stride: usize) {
+        let w5 = [
+            self.twiddles[self.len / 5],
+            self.twiddles[2 * self.len / 5],
+            self.twiddles[3 * self.len / 5],
+            self.twiddles[4 * self.len / 5],
+        ];
+        for q in 0..m {
+            let a = data[q];
+            let b1 = self.twiddles[q * stride] * data[m + q];
+            let b2 = self.twiddles[2 * q * stride] * data[2 * m + q];
+            let b3 = self.twiddles[3 * q * stride] * data[3 * m + q];
+            let b4 = self.twiddles[4 * q * stride] * data[4 * m + q];
+            data[q] = a + b1 + b2 + b3 + b4;
+            data[m + q] = a + w5[0] * b1 + w5[1] * b2 + w5[2] * b3 + w5[3] * b4;
+            data[2 * m + q] = a + w5[1] * b1 + w5[3] * b2 + w5[0] * b3 + w5[2] * b4;
+            data[3 * m + q] = a + w5[2] * b1 + w5[0] * b2 + w5[3] * b3 + w5[1] * b4;
+            data[4 * m + q] = a + w5[3] * b1 + w5[2] * b2 + w5[1] * b3 + w5[0] * b4;
         }
     }
 }

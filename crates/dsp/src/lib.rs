@@ -12,8 +12,10 @@
 //!   sizes (960 / 1920 / 4800 samples) with a Bluestein fallback.
 //! - [`window`], [`fir`]: window functions, windowed-sinc FIR design, and
 //!   batch/streaming filtering (the receiver's 1–4 kHz front-end bandpass).
-//! - [`correlate`]: FFT-accelerated and normalized cross-correlation for
-//!   preamble detection.
+//! - [`correlate`]: naive-reference, FFT-accelerated, and normalized
+//!   cross-correlation for preamble detection.
+//! - [`stream`]: streaming overlap-save correlation — block FFT convolution
+//!   with carry-over state, for continuous real-time preamble scanning.
 //! - [`cazac`]: Zadoff–Chu sequences for the preamble (unit PAPR, ideal
 //!   autocorrelation).
 //! - [`chirp`]: LFM chirps and tones for channel sounding, FSK, IDs, ACKs.
@@ -39,6 +41,7 @@ pub mod linalg;
 pub mod resample;
 pub mod spectrum;
 pub mod stats;
+pub mod stream;
 pub mod window;
 
 pub use complex::Complex;

@@ -1,0 +1,128 @@
+//! Property tests pinning the streaming overlap-save engine to the naive
+//! time-domain reference: same outputs to 1e-9 across random signal and
+//! template lengths and across adversarial chunkings (single samples,
+//! prime-sized chunks, chunks larger than the whole buffer).
+
+use aqua_dsp::correlate::{xcorr_normalized, xcorr_valid};
+use aqua_dsp::stream::{OverlapSaveCorrelator, StreamingNormalizedXcorr};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random signal so cases reproduce from the seed.
+fn xorshift_signal(len: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Feeds `signal` through a fresh correlator in `chunk`-sized pieces
+/// (chunk 0 = everything in one push) and returns all outputs.
+fn run_chunked(template: &[f64], signal: &[f64], chunk: usize) -> Vec<f64> {
+    let mut os = OverlapSaveCorrelator::new(template);
+    let mut got = Vec::new();
+    if chunk == 0 {
+        got.extend(os.push(signal));
+    } else {
+        for c in signal.chunks(chunk) {
+            got.extend(os.push(c));
+        }
+    }
+    got.extend(os.flush());
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Overlap-save equals the naive O(N·M) loop to 1e-9 for random
+    /// lengths, including templates longer than the signal (empty output).
+    #[test]
+    fn overlap_save_matches_naive_loop(
+        sig_len in 0usize..1500,
+        tpl_len in 1usize..300,
+        seed in 0u64..1000,
+    ) {
+        let signal = xorshift_signal(sig_len, seed);
+        let template = xorshift_signal(tpl_len, seed ^ 0xABCD);
+        let want = xcorr_valid(&signal, &template);
+        let got = run_chunked(&template, &signal, 0);
+        prop_assert_eq!(got.len(), want.len());
+        let scale = tpl_len as f64; // worst-case dot-product magnitude
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-9 * scale.max(1.0), "{} vs {}", a, b);
+        }
+    }
+
+    /// Chunk-boundary cases: chunk sizes 1, a prime, and larger than the
+    /// whole buffer all reproduce the single-push output bit-for-bit
+    /// (block boundaries are fixed by absolute stream position).
+    #[test]
+    fn overlap_save_is_chunking_invariant(
+        sig_len in 1usize..1200,
+        tpl_len in 1usize..200,
+        seed in 0u64..1000,
+    ) {
+        let signal = xorshift_signal(sig_len, seed);
+        let template = xorshift_signal(tpl_len, seed ^ 0x5EED);
+        let want = run_chunked(&template, &signal, 0);
+        for chunk in [1usize, 13, sig_len + 1] {
+            let got = run_chunked(&template, &signal, chunk);
+            prop_assert_eq!(&got, &want, "chunk size {}", chunk);
+        }
+    }
+
+    /// The normalized streaming wrapper equals the batch normalized
+    /// cross-correlation to 1e-9 (values are in [-1, 1], so absolute
+    /// tolerance is the right scale).
+    #[test]
+    fn streaming_normalized_matches_batch(
+        sig_len in 1usize..1200,
+        tpl_len in 1usize..200,
+        chunk in 1usize..500,
+        seed in 0u64..1000,
+    ) {
+        let signal = xorshift_signal(sig_len, seed);
+        let template = xorshift_signal(tpl_len, seed ^ 0xF00D);
+        let want = xcorr_normalized(&signal, &template);
+        let mut os = StreamingNormalizedXcorr::new(&template);
+        let mut got = Vec::new();
+        for c in signal.chunks(chunk) {
+            got.extend(os.push(c));
+        }
+        got.extend(os.flush());
+        prop_assert_eq!(got.len(), want.len());
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            prop_assert!((a - b).abs() < 1e-9, "idx {}: {} vs {}", i, a, b);
+        }
+    }
+
+    /// A mid-stream flush (latency deadline) never changes the outputs,
+    /// only when they become available.
+    #[test]
+    fn mid_stream_flush_is_transparent(
+        sig_len in 2usize..1000,
+        tpl_len in 1usize..150,
+        cut in 1usize..999,
+        seed in 0u64..1000,
+    ) {
+        let signal = xorshift_signal(sig_len, seed);
+        let template = xorshift_signal(tpl_len, seed ^ 0xCAFE);
+        let cut = cut.min(sig_len - 1);
+        let want = run_chunked(&template, &signal, 0);
+        let mut os = OverlapSaveCorrelator::new(&template);
+        let mut got = os.push(&signal[..cut]);
+        got.extend(os.flush());
+        got.extend(os.push(&signal[cut..]));
+        got.extend(os.flush());
+        prop_assert_eq!(got.len(), want.len());
+        let scale = (tpl_len as f64).max(1.0);
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-9 * scale, "{} vs {}", a, b);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Golden-vector regression suite: the streaming detector must report the
+//! same detection offsets and accept/reject decisions as the batch
+//! detector on fixed-seed noisy captures at all three numerologies, stay
+//! bit-identical across chunkings (including chunks of 1, a prime size,
+//! and a single chunk larger than the capture), and handle the degenerate
+//! inputs (empty chunks, captures shorter than the preamble, preambles
+//! straddling chunk boundaries).
+
+use aqua_phy::params::OfdmParams;
+use aqua_phy::preamble::{
+    detect, detect_streaming, Detection, DetectorConfig, Preamble, StreamingDetector,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn noise(n: usize, rms: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            rms * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        })
+        .collect()
+}
+
+/// A fixed-seed noisy capture: noise, preamble at `at` (scaled by `gain`),
+/// noise tail.
+fn capture(
+    preamble: &Preamble,
+    at: usize,
+    tail: usize,
+    rms: f64,
+    gain: f64,
+    seed: u64,
+) -> Vec<f64> {
+    let mut rx = noise(at + preamble.len() + tail, rms, seed);
+    for (i, &s) in preamble.samples.iter().enumerate() {
+        rx[at + i] += s * gain;
+    }
+    rx
+}
+
+/// Runs the streaming detector over `rx` in `chunk`-sized pieces and
+/// returns every emitted detection.
+fn run_streaming(
+    rx: &[f64],
+    preamble: &Preamble,
+    cfg: &DetectorConfig,
+    chunk: usize,
+) -> Vec<Detection> {
+    let mut det = StreamingDetector::new(preamble.clone(), *cfg);
+    let mut out = Vec::new();
+    for c in rx.chunks(chunk.max(1)) {
+        out.extend(det.push(c));
+    }
+    out.extend(det.flush());
+    out
+}
+
+/// Asserts batch and streaming agree on a capture: same accept/reject,
+/// same offset, metrics within rounding of each other.
+fn assert_equivalent(rx: &[f64], preamble: &Preamble, cfg: &DetectorConfig, label: &str) {
+    let batch = detect(rx, preamble, cfg);
+    let streaming = detect_streaming(rx, preamble, cfg);
+    match (batch, streaming) {
+        (Some(b), Some(s)) => {
+            assert_eq!(b.offset, s.offset, "{label}: offsets diverge");
+            assert!(
+                (b.metric - s.metric).abs() < 1e-6,
+                "{label}: metric {} vs {}",
+                b.metric,
+                s.metric
+            );
+        }
+        (None, None) => {}
+        (b, s) => panic!("{label}: accept/reject split: batch {b:?} vs streaming {s:?}"),
+    }
+}
+
+#[test]
+fn all_numerologies_agree_on_noisy_captures() {
+    let cfg = DetectorConfig::default();
+    for (params, seed) in [
+        (OfdmParams::spacing_50hz(), 11u64),
+        (OfdmParams::spacing_25hz(), 22),
+        (OfdmParams::spacing_10hz(), 33),
+    ] {
+        let preamble = Preamble::new(params);
+        let at = 2 * params.n_fft + 137; // deliberately unaligned
+        let rx = capture(&preamble, at, 3 * params.n_fft, 0.05, 1.0, seed);
+        let det = detect(&rx, &preamble, &cfg)
+            .unwrap_or_else(|| panic!("n_fft {}: batch must detect", params.n_fft));
+        assert!(det.offset.abs_diff(at) <= 4, "n_fft {}", params.n_fft);
+        assert_equivalent(&rx, &preamble, &cfg, &format!("n_fft {}", params.n_fft));
+    }
+}
+
+#[test]
+fn default_numerology_agrees_across_seeds_and_snrs() {
+    let params = OfdmParams::default();
+    let preamble = Preamble::new(params);
+    let cfg = DetectorConfig::default();
+    // (noise rms, preamble gain): clean, 0 dB-ish, weak, buried
+    for (case, (rms, gain)) in [(0.001, 1.0), (0.1, 1.0), (0.0005, 0.01), (0.3, 0.01)]
+        .into_iter()
+        .enumerate()
+    {
+        for seed in [1u64, 2, 3] {
+            let rx = capture(&preamble, 3000 + 61 * seed as usize, 4000, rms, gain, seed);
+            assert_equivalent(&rx, &preamble, &cfg, &format!("case {case} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn pure_noise_rejected_by_both_paths() {
+    let params = OfdmParams::default();
+    let preamble = Preamble::new(params);
+    let cfg = DetectorConfig::default();
+    for seed in [4u64, 5, 6] {
+        let rx = noise(20_000, 0.3, seed);
+        assert_equivalent(&rx, &preamble, &cfg, &format!("noise seed {seed}"));
+        assert!(detect_streaming(&rx, &preamble, &cfg).is_none());
+    }
+}
+
+#[test]
+fn chunking_is_bit_transparent_including_straddled_preambles() {
+    let params = OfdmParams::default();
+    let preamble = Preamble::new(params);
+    let cfg = DetectorConfig::default();
+    let at = 2460; // straddles every chunk size below
+    let rx = capture(&preamble, at, 3000, 0.02, 1.0, 7);
+    let whole = run_streaming(&rx, &preamble, &cfg, rx.len());
+    assert_eq!(whole.len(), 1, "expected exactly one detection");
+    assert!(whole[0].offset.abs_diff(at) <= 4);
+    for chunk in [1usize, 997, 4800, rx.len() + 1] {
+        let got = run_streaming(&rx, &preamble, &cfg, chunk);
+        assert_eq!(got.len(), whole.len(), "chunk {chunk}: detection count");
+        for (a, b) in got.iter().zip(&whole) {
+            assert_eq!(a.offset, b.offset, "chunk {chunk}");
+            assert_eq!(a.metric.to_bits(), b.metric.to_bits(), "chunk {chunk}");
+            assert_eq!(
+                a.coarse_corr.to_bits(),
+                b.coarse_corr.to_bits(),
+                "chunk {chunk}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_chunks_are_harmless() {
+    let params = OfdmParams::default();
+    let preamble = Preamble::new(params);
+    let cfg = DetectorConfig::default();
+    let rx = capture(&preamble, 1500, 2000, 0.01, 1.0, 8);
+    let mut det = StreamingDetector::new(preamble.clone(), cfg);
+    let mut out = Vec::new();
+    out.extend(det.push(&[]));
+    for c in rx.chunks(960) {
+        out.extend(det.push(c));
+        out.extend(det.push(&[]));
+    }
+    out.extend(det.flush());
+    out.extend(det.flush()); // double flush is idempotent
+    let want = run_streaming(&rx, &preamble, &cfg, rx.len());
+    assert_eq!(out.len(), want.len());
+    assert_eq!(out[0].offset, want[0].offset);
+}
+
+#[test]
+fn capture_shorter_than_preamble_yields_no_detection() {
+    let params = OfdmParams::default();
+    let preamble = Preamble::new(params);
+    let cfg = DetectorConfig::default();
+    // the "template longer than signal" degenerate case
+    let rx = noise(preamble.len() - 1, 0.1, 9);
+    assert!(detect(&rx, &preamble, &cfg).is_none());
+    assert!(detect_streaming(&rx, &preamble, &cfg).is_none());
+    // and a capture that *contains* a truncated preamble
+    let mut det = StreamingDetector::new(preamble.clone(), cfg);
+    assert!(det.push(&preamble.samples[..preamble.len() / 2]).is_empty());
+    assert!(det.flush().is_empty());
+}
+
+#[test]
+fn two_preambles_in_one_stream_both_emit() {
+    let params = OfdmParams::default();
+    let preamble = Preamble::new(params);
+    let cfg = DetectorConfig::default();
+    let first = capture(&preamble, 3000, 2000, 0.01, 1.0, 10);
+    let second = capture(&preamble, 4000, 9000, 0.01, 1.0, 11);
+    let mut rx = first.clone();
+    rx.extend_from_slice(&second);
+    let dets = run_streaming(&rx, &preamble, &cfg, 960);
+    assert_eq!(dets.len(), 2, "one detection per packet: {dets:?}");
+    assert!(dets[0].offset.abs_diff(3000) <= 4);
+    assert!(dets[1].offset.abs_diff(first.len() + 4000) <= 4);
+}
+
+#[test]
+fn detector_reset_reproduces_a_fresh_scan() {
+    let params = OfdmParams::default();
+    let preamble = Preamble::new(params);
+    let cfg = DetectorConfig::default();
+    let rx = capture(&preamble, 2000, 3000, 0.02, 1.0, 12);
+    let mut det = StreamingDetector::new(preamble.clone(), cfg);
+    let mut first = det.push(&rx);
+    first.extend(det.flush());
+    det.reset();
+    let mut second = det.push(&rx);
+    second.extend(det.flush());
+    assert_eq!(first.len(), second.len());
+    assert_eq!(first[0].offset, second[0].offset);
+    assert_eq!(first[0].metric.to_bits(), second[0].metric.to_bits());
+}
+
+#[test]
+fn poll_bounds_latency_without_changing_the_decision() {
+    let params = OfdmParams::default();
+    let preamble = Preamble::new(params);
+    let cfg = DetectorConfig::default();
+    let at = 4800;
+    let rx = capture(&preamble, at, 12_000, 0.02, 1.0, 13);
+    let mut det = StreamingDetector::new(preamble.clone(), cfg);
+    let mut polled = Vec::new();
+    let mut detected_at_sample = None;
+    for (i, c) in rx.chunks(960).enumerate() {
+        let mut got = det.push(c);
+        got.extend(det.poll(params.n_fft));
+        if !got.is_empty() && detected_at_sample.is_none() {
+            detected_at_sample = Some((i + 1) * 960);
+        }
+        polled.extend(got);
+    }
+    polled.extend(det.flush());
+    let want = run_streaming(&rx, &preamble, &cfg, rx.len());
+    assert_eq!(polled.len(), want.len());
+    assert_eq!(polled[0].offset, want[0].offset);
+    // detection must land within ~2 symbols of the preamble's end, not a
+    // whole FFT block later
+    let end = at + preamble.len();
+    let latest = end + 2 * params.n_fft + 960;
+    let when = detected_at_sample.expect("poll must emit the detection");
+    assert!(
+        when <= latest,
+        "detection at stream position {when}, budget was {latest}"
+    );
+}

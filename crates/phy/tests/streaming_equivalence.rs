@@ -1,0 +1,181 @@
+//! Equivalence properties for the streaming receiver front-end:
+//!
+//! - sliding-Goertzel bin values match batch `analyze_core` FFT bins at
+//!   every window position;
+//! - the prefix-sum `MetricScan` matches the direct `sliding_metric`;
+//! - the sliding-Goertzel feedback decoder reproduces the FFT-per-window
+//!   batch oracle's decisions.
+
+use aqua_dsp::goertzel::SlidingGoertzel;
+use aqua_phy::bandselect::Band;
+use aqua_phy::feedback::{decode_feedback_batch, decode_feedback_whitened, encode_feedback};
+use aqua_phy::params::OfdmParams;
+use aqua_phy::preamble::{sliding_metric, MetricScan, Preamble};
+use aqua_phy::symbol::analyze_core;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random signal so cases reproduce from the seed.
+fn xorshift_signal(len: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// A small synthetic numerology so properties can sweep every window
+/// position cheaply.
+fn tiny_params() -> OfdmParams {
+    OfdmParams {
+        fs: 4800.0,
+        n_fft: 96,
+        cp: 7,
+        first_bin: 2,
+        num_bins: 6,
+        target_rms: 0.2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The sliding bank's coefficients equal the FFT bins `analyze_core`
+    /// extracts, at *every* window position of a random stream.
+    #[test]
+    fn sliding_goertzel_matches_analyze_core_everywhere(
+        extra in 1usize..300,
+        seed in 0u64..1000,
+    ) {
+        let p = tiny_params();
+        let n = p.n_fft;
+        let sig = xorshift_signal(n + extra, seed);
+        let bins: Vec<usize> = (0..p.num_bins).map(|k| p.first_bin + k).collect();
+        let mut bank = SlidingGoertzel::new(n, &bins);
+        for (i, &x) in sig.iter().enumerate() {
+            bank.push(x);
+            let Some(pos) = bank.window_start() else { continue };
+            prop_assert_eq!(pos, i + 1 - n);
+            let want = analyze_core(&p, &sig[pos..pos + n]);
+            for (got, want) in bank.values().iter().zip(&want) {
+                // bins of a ±1 signal have magnitude ≤ n
+                prop_assert!((*got - *want).abs() < 1e-9 * n as f64,
+                    "pos {}: {:?} vs {:?}", pos, got, want);
+            }
+        }
+    }
+
+    /// The prefix-sum metric scan equals the direct sliding metric at
+    /// every offset, including past-the-end offsets (both return 0.0).
+    #[test]
+    fn metric_scan_matches_sliding_metric(
+        extra in 0usize..400,
+        seed in 0u64..1000,
+    ) {
+        let p = tiny_params();
+        let len = 8 * p.n_fft + extra;
+        let sig = xorshift_signal(len, seed);
+        let scan = MetricScan::new(&sig, &p);
+        for offset in (0..len + 10).step_by(7) {
+            let want = sliding_metric(&sig, offset, &p);
+            let got = scan.metric(offset);
+            prop_assert!((got - want).abs() < 1e-9,
+                "offset {}: {} vs {}", offset, got, want);
+        }
+    }
+
+    /// The sliding-Goertzel feedback decoder and the FFT-per-window batch
+    /// oracle agree on band, alignment, and quality for noisy feedback
+    /// symbols at random bands and offsets.
+    #[test]
+    fn feedback_decode_matches_batch_oracle(
+        lead in 0usize..700,
+        lo in 0usize..60,
+        hi in 0usize..60,
+        seed in 0u64..1000,
+    ) {
+        let p = OfdmParams::default();
+        let band = Band::new(lo.min(hi), lo.max(hi));
+        let sym = encode_feedback(&p, band);
+        let mut rx = vec![0.0; lead];
+        rx.extend_from_slice(&sym);
+        rx.extend(vec![0.0; 200]);
+        let noise = xorshift_signal(rx.len(), seed ^ 0xBEEF);
+        for (v, n) in rx.iter_mut().zip(&noise) {
+            // attenuated symbol + mild noise: decoder must be scale-free
+            *v = 0.05 * (*v + 0.01 * n);
+        }
+        let batch = decode_feedback_batch(&p, &rx, 0.2, None);
+        let sliding = decode_feedback_whitened(&p, &rx, 0.2, None);
+        match (batch, sliding) {
+            (Some(b), Some(s)) => {
+                prop_assert_eq!(b.band, s.band);
+                prop_assert_eq!(b.offset, s.offset);
+                prop_assert!((b.quality - s.quality).abs() < 1e-9,
+                    "quality {} vs {}", b.quality, s.quality);
+            }
+            (None, None) => {}
+            (b, s) => prop_assert!(false, "accept/reject split: {:?} vs {:?}", b, s),
+        }
+    }
+}
+
+/// The bank also matches `analyze_core` at the paper's real numerologies
+/// (full 60–300-bin banks over 960/1920/4800-sample windows), spot-checked
+/// at a few positions to keep debug-mode runtime sane.
+#[test]
+fn sliding_goertzel_matches_analyze_core_at_real_numerologies() {
+    for p in [
+        OfdmParams::spacing_50hz(),
+        OfdmParams::spacing_25hz(),
+        OfdmParams::spacing_10hz(),
+    ] {
+        let n = p.n_fft;
+        let sig = xorshift_signal(n + 101, 42);
+        let bins: Vec<usize> = (0..p.num_bins).map(|k| p.first_bin + k).collect();
+        let mut bank = SlidingGoertzel::new(n, &bins);
+        for &x in &sig[..n] {
+            bank.push(x);
+        }
+        let mut checked = 0;
+        for (i, &x) in sig[n..].iter().enumerate() {
+            bank.push(x);
+            let pos = i + 1;
+            if pos % 25 != 0 {
+                continue;
+            }
+            let want = analyze_core(&p, &sig[pos..pos + n]);
+            for (got, want) in bank.values().iter().zip(&want) {
+                assert!(
+                    (*got - *want).abs() < 1e-8 * n as f64,
+                    "n_fft {n} pos {pos}: {got:?} vs {want:?}"
+                );
+            }
+            checked += 1;
+        }
+        assert!(checked >= 4, "n_fft {n}: too few positions checked");
+    }
+}
+
+/// `MetricScan::segments_uniform` agrees with a direct per-segment energy
+/// computation on a real preamble with a fabricated partial arrival.
+#[test]
+fn segment_uniformity_guard_matches_direct_energies() {
+    let p = OfdmParams::default();
+    let preamble = Preamble::new(p);
+    // full preamble in quiet water: uniform
+    let mut rx = vec![1e-6; 1000];
+    rx.extend_from_slice(&preamble.samples);
+    rx.extend(vec![1e-6; 1000]);
+    let scan = MetricScan::new(&rx, &p);
+    assert!(scan.segments_uniform(1000));
+    // only 3 of 8 symbols arrived: grossly non-uniform
+    let mut partial = vec![1e-6; 1000 + 5 * p.n_fft];
+    partial.extend_from_slice(&preamble.samples[..3 * p.n_fft]);
+    partial.extend(vec![1e-6; 100]);
+    let scan = MetricScan::new(&partial, &p);
+    assert!(!scan.segments_uniform(1000));
+}
