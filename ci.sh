@@ -48,5 +48,19 @@ check_budget() {
 }
 check_budget "feedback_decode_rtt_window" 2
 check_budget "preamble_detect_0.33s_buffer" 10
+# PR 3's Stockham rewrite: 960-pt forward FFT ≈ 12 µs (was 26 µs); gate at
+# the same 2x slack as the budgets above so a regression to the copying
+# mixed-radix path fails loudly without tripping on scheduler noise.
+check_budget "fft_960_forward" 0.025
+
+echo "==> throughput smoke: repro fig9 quick end-to-end under 60 s"
+START=$(date +%s)
+cargo run -q -p aqua-eval --release --bin repro -- fig9 quick >/dev/null
+ELAPSED=$(($(date +%s) - START))
+if [ "$ELAPSED" -gt 60 ]; then
+  echo "throughput-smoke FAIL: repro fig9 quick took ${ELAPSED}s (> 60 s)"
+  exit 1
+fi
+echo "throughput-smoke ok: repro fig9 quick in ${ELAPSED}s (budget 60 s)"
 
 echo "CI green."

@@ -18,7 +18,7 @@ use aqua_phy::preamble::{detect, DetectorConfig, Preamble, StreamingDetector};
 
 fn fft_960(c: &mut Criterion) {
     let plan = aqua_dsp::fft::Fft::new(960);
-    let mut buf: Vec<aqua_dsp::Complex> = (0..960)
+    let buf: Vec<aqua_dsp::Complex> = (0..960)
         .map(|i| aqua_dsp::Complex::new((i as f64 * 0.37).sin(), 0.0))
         .collect();
     c.bench_function("fft_960_forward", |b| {
@@ -28,7 +28,24 @@ fn fft_960(c: &mut Criterion) {
             black_box(data)
         })
     });
-    buf[0] = aqua_dsp::Complex::real(1.0);
+    // The real-input fast path at the 10 Hz-spacing symbol size: one
+    // half-size complex FFT + untangling vs the full complex transform.
+    let plan_real = aqua_dsp::fft::RealFft::new(4800);
+    let signal: Vec<f64> = (0..4800).map(|i| (i as f64 * 0.211).sin()).collect();
+    c.bench_function("real_fft_4800", |b| {
+        b.iter(|| black_box(plan_real.forward_half(black_box(&signal))))
+    });
+
+    // The channel renderer's dominant cost: one 0.5 s transmission
+    // convolved with a multipath+device FIR (both real → the real-FFT
+    // convolution path; next_power_of_two lands on a 32768-point plan).
+    let tx: Vec<f64> = (0..24_000).map(|i| (i as f64 * 0.13).sin()).collect();
+    let fir: Vec<f64> = (0..2_048)
+        .map(|i| ((i as f64 * 0.71).sin() / (i + 1) as f64))
+        .collect();
+    c.bench_function("fft_convolve_0.5s_render", |b| {
+        b.iter(|| black_box(aqua_dsp::fir::fft_convolve(black_box(&tx), black_box(&fir))))
+    });
 }
 
 fn preamble_pipeline(c: &mut Criterion) {

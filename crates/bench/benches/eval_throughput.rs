@@ -1,0 +1,41 @@
+//! Experiment-layer throughput: how fast the harness burns through packet
+//! trials — the number that decides whether a paper-scale figure takes
+//! minutes or hours. `trials_per_second` exercises the full exchange
+//! (streaming detection, estimation, band selection, feedback, data
+//! decode) over the channel renderer on the parallel engine; the printed
+//! mean is for a 4-trial series, so trials/s = 4 / mean.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aqua_channel::environments::{Environment, Site};
+use aqua_channel::geometry::Pos;
+use aqua_eval::runner::{packet_series, packet_series_serial};
+use aquapp::trial::TrialConfig;
+
+fn cfg(seed: u64) -> TrialConfig {
+    TrialConfig::standard(
+        Environment::preset(Site::Bridge),
+        Pos::new(0.0, 0.0, 1.0),
+        Pos::new(5.0, 0.0, 1.0),
+        1000 + seed,
+    )
+}
+
+fn trials_per_second(c: &mut Criterion) {
+    // engine path (worker count from AQUA_PAR_THREADS / cores)
+    c.bench_function("trials_per_second", |b| {
+        b.iter(|| black_box(packet_series(4, cfg).per))
+    });
+    // single-thread reference for the speedup ratio
+    c.bench_function("trials_per_second_serial", |b| {
+        b.iter(|| black_box(packet_series_serial(4, cfg).per))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = trials_per_second
+}
+criterion_main!(benches);

@@ -444,29 +444,29 @@ fn sinc_kernel(x: f64, half_width: f64) -> f64 {
 
 /// Designs a linear-phase FIR approximating the combined device magnitude
 /// response (frequency-sampling method: sample |H(f)| on a dense grid,
-/// inverse FFT, center, window).
+/// Hermitian inverse real FFT, center, window).
 pub fn design_device_fir(tx: &Device, rx: &Device, fs: f64, taps: usize) -> Vec<f64> {
     use aqua_dsp::complex::Complex;
-    use aqua_dsp::fft::planner;
+    use aqua_dsp::fft::real_planner;
     let n = 2048usize;
-    let mut spec = vec![aqua_dsp::complex::ZERO; n];
-    for k in 0..=n / 2 {
-        let f = k as f64 * fs / n as f64;
-        let db = Device::link_response_db(tx, rx, f.max(10.0));
-        let mag = 10f64.powf(db / 20.0);
-        spec[k] = Complex::real(mag);
-        if k > 0 && k < n / 2 {
-            spec[n - k] = Complex::real(mag);
-        }
-    }
-    planner(n).inverse(&mut spec);
+    let plan = real_planner(n);
+    // The sampled magnitude response is real and even — exactly a
+    // Hermitian half-spectrum, so the mirror half is never materialized.
+    let half_spec: Vec<Complex> = (0..=n / 2)
+        .map(|k| {
+            let f = k as f64 * fs / n as f64;
+            let db = Device::link_response_db(tx, rx, f.max(10.0));
+            Complex::real(10f64.powf(db / 20.0))
+        })
+        .collect();
+    let impulse = plan.inverse_half(&half_spec);
     // center the impulse response and window it
     let half = taps / 2;
     let mut fir = vec![0.0; taps];
     for (i, tap) in fir.iter_mut().enumerate() {
         let idx = (i as isize - half as isize).rem_euclid(n as isize) as usize;
         let w = aqua_dsp::window::Window::Hann.value(i, taps);
-        *tap = spec[idx].re * w;
+        *tap = impulse[idx] * w;
     }
     fir
 }

@@ -26,7 +26,7 @@ use aqua_phy::chanest::{estimate, ChannelEstimate};
 use aqua_phy::feedback::{decode_feedback_whitened, decode_tone, encode_feedback, noise_bin_power};
 use aqua_phy::frame::{build_header, locate_training, FrameConfig};
 use aqua_phy::ofdm::{demodulate_data, modulate_data, DecodeOptions};
-use aqua_phy::preamble::{detect, DetectorConfig, Preamble};
+use aqua_phy::preamble::{detect_streaming, DetectorConfig, Preamble};
 
 /// Rate-adaptation scheme under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +123,12 @@ pub struct TrialResult {
     pub bits: Option<Vec<u8>>,
     /// Packet decoded without any bit error (the paper's PER criterion).
     pub packet_ok: bool,
+    /// Alice actually transmitted the data section (detection, band
+    /// selection and — for the adaptive scheme — the feedback decode all
+    /// succeeded). When false, `coded_ber` is a 0.5 placeholder over bits
+    /// that never existed; series summaries average coded BER over
+    /// data-phase trials only (see `aqua-eval`'s `SeriesStats`).
+    pub data_phase: bool,
     /// BER over the coded (pre-Viterbi) bits.
     pub coded_ber: f64,
     /// Coded bitrate implied by the used band (paper's metric).
@@ -139,6 +145,7 @@ impl TrialResult {
             feedback_ok: false,
             bits: None,
             packet_ok: false,
+            data_phase: false,
             coded_ber: 0.5,
             coded_bitrate_bps: 0.0,
         }
@@ -193,7 +200,11 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
     let header_rx = front_end(&forward.transmit(&header_tx, 0.0));
 
     // ---- 2. Bob: detect, check ID, estimate, select ----
-    let Some(detection) = detect(&header_rx, &preamble, &cfg.detector) else {
+    // The detector is the receiver's *live* streaming path (overlap-save
+    // coarse stage + prefix-sum fine stage), so experiment-scale runs
+    // exercise exactly what a phone runs; the equivalence suite pins its
+    // decisions to the batch oracle.
+    let Some(detection) = detect_streaming(&header_rx, &preamble, &cfg.detector) else {
         return TrialResult::failed();
     };
     let preamble_offset = detection.offset;
@@ -254,6 +265,7 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
                         feedback_ok: false,
                         bits: None,
                         packet_ok: false,
+                        data_phase: false,
                         coded_ber: 0.5,
                         coded_bitrate_bps: 0.0,
                     };
@@ -288,6 +300,7 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
             feedback_ok,
             bits: None,
             packet_ok: false,
+            data_phase: true,
             coded_ber: 0.5,
             coded_bitrate_bps: params.coded_bitrate_bps(bob_band.len()),
         };
@@ -302,6 +315,7 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
             feedback_ok,
             bits: None,
             packet_ok: false,
+            data_phase: true,
             coded_ber: 0.5,
             coded_bitrate_bps: params.coded_bitrate_bps(bob_band.len()),
         };
@@ -330,6 +344,7 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
         feedback_ok,
         bits: Some(decoded.bits),
         packet_ok,
+        data_phase: true,
         coded_ber,
         coded_bitrate_bps: params.coded_bitrate_bps(bob_band.len()),
     }

@@ -1,15 +1,28 @@
-//! Mixed-radix FFT.
+//! Mixed-radix FFT with a real-input fast path.
 //!
 //! The modem's OFDM symbol lengths are not powers of two: 960 samples at
 //! 50 Hz subcarrier spacing, 1920 at 25 Hz and 4800 at 10 Hz (all of the
-//! form 2^a·3^b·5^c). This module implements a recursive Cooley–Tukey
-//! decomposition over arbitrary prime factors with a Bluestein fallback for
-//! large prime sizes, so every length works and the common modem sizes stay
-//! fast.
+//! form 2^a·3^b·5^c). This module implements a **Stockham autosort**
+//! decomposition over radices 4/2/3/5 (generic butterflies for other
+//! primes up to `MAX_DIRECT_PRIME` = 31) with a Bluestein fallback for large
+//! prime sizes, so every length works and the common modem sizes stay
+//! fast. The Stockham formulation ping-pongs between the data buffer and
+//! one scratch buffer, absorbing the reordering into each butterfly pass —
+//! no bit-reversal permutation and no per-recursion-level copies, which is
+//! what brought the 960-point transform from ~26 µs to under the ~15 µs
+//! target (see EXPERIMENTS.md bench table).
+//!
+//! Nearly every signal in this codebase is real-valued (audio in, audio
+//! out), so [`RealFft`] additionally provides the classic half-size
+//! trick: an N-point real FFT via one N/2-point complex FFT plus O(N)
+//! untangling, and the matching Hermitian inverse. The convolution engine
+//! ([`crate::fir::fft_convolve`]), Welch PSD, OFDM synthesis/analysis and
+//! the channel renderer all ride this path.
 //!
 //! Conventions: [`Fft::forward`] computes the unnormalized DFT
 //! `X[k] = Σ x[n]·e^{-2πi kn/N}`; [`Fft::inverse`] applies the `1/N`
-//! normalization so `inverse(forward(x)) == x`.
+//! normalization so `inverse(forward(x)) == x`. [`RealFft`] half-spectra
+//! hold bins `0..=N/2` of the same unnormalized transform.
 
 use crate::complex::{Complex, ZERO};
 use std::cell::RefCell;
@@ -24,10 +37,13 @@ const MAX_DIRECT_PRIME: usize = 31;
 /// transforms of the same length.
 pub struct Fft {
     len: usize,
-    /// Prime factorization of `len`, smallest factors first.
-    factors: Vec<usize>,
+    /// Butterfly radices applied in order (pairs of 2s fused into 4s),
+    /// empty for `len == 1` and for Bluestein sizes.
+    radices: Vec<usize>,
     /// Twiddle table: `twiddles[k] = e^{-2πi k / len}` for `k < len`.
     twiddles: Vec<Complex>,
+    /// Ping-pong buffer for the Stockham passes (lazily sized).
+    scratch: RefCell<Vec<Complex>>,
     /// Bluestein state when `len` has a prime factor above `MAX_DIRECT_PRIME`.
     bluestein: Option<Box<Bluestein>>,
 }
@@ -41,24 +57,41 @@ struct Bluestein {
     filter_fd: Vec<Complex>,
 }
 
+/// Builds the radix schedule from a prime factorization: fuse 2·2 → 4
+/// (radix-4 butterflies do the work of two radix-2 passes in one sweep),
+/// keeping any leftover 2, then the 3s, 5s, and larger primes.
+fn radix_plan(factors: &[usize]) -> Vec<usize> {
+    let twos = factors.iter().filter(|&&f| f == 2).count();
+    let mut radices = vec![4; twos / 2];
+    if twos % 2 == 1 {
+        radices.push(2);
+    }
+    radices.extend(factors.iter().filter(|&&f| f != 2));
+    radices
+}
+
 impl Fft {
     /// Plans an FFT of length `len`. Panics if `len == 0`.
     pub fn new(len: usize) -> Self {
         assert!(len > 0, "FFT length must be positive");
         let factors = factorize(len);
         let needs_bluestein = factors.iter().any(|&f| f > MAX_DIRECT_PRIME);
-        let twiddles = if needs_bluestein {
-            Vec::new()
+        let (twiddles, radices) = if needs_bluestein {
+            (Vec::new(), Vec::new())
         } else {
-            (0..len)
-                .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / len as f64))
-                .collect()
+            (
+                (0..len)
+                    .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / len as f64))
+                    .collect(),
+                radix_plan(&factors),
+            )
         };
         let bluestein = needs_bluestein.then(|| Box::new(Bluestein::new(len)));
         Self {
             len,
-            factors,
+            radices,
             twiddles,
+            scratch: RefCell::new(Vec::new()),
             bluestein,
         }
     }
@@ -80,52 +113,31 @@ impl Fft {
             b.transform(data, self.len);
             return;
         }
-        if self.len.is_power_of_two() {
-            self.radix2_iterative(data);
+        if self.len == 1 {
             return;
         }
-        let mut scratch = vec![ZERO; self.len];
-        self.recurse(data, &mut scratch, self.len, 1, 0);
-    }
-
-    /// In-place iterative radix-2 FFT (bit-reversal permutation + butterfly
-    /// stages) for power-of-two lengths — the sizes Bluestein and the
-    /// overlap-save convolution engine hit hardest.
-    fn radix2_iterative(&self, data: &mut [Complex]) {
-        let n = self.len;
-        if n == 1 {
-            return;
+        let mut scratch = self.scratch.borrow_mut();
+        if scratch.len() != self.len {
+            scratch.resize(self.len, ZERO);
         }
-        // Bit-reversal permutation via a reversed-increment counter.
-        let mut j = 0usize;
-        for i in 0..n {
-            if i < j {
-                data.swap(i, j);
+        // Stockham autosort: each pass reads one buffer and writes the
+        // other with the next decimation already in place.
+        let mut n = self.len; // current sub-transform length
+        let mut s = 1usize; // stride (number of interleaved sequences)
+        let mut in_data = true;
+        for &r in &self.radices {
+            let m = n / r;
+            if in_data {
+                self.pass(r, m, s, data, &mut scratch);
+            } else {
+                self.pass(r, m, s, &scratch, data);
             }
-            let mut bit = n >> 1;
-            while j & bit != 0 {
-                j ^= bit;
-                bit >>= 1;
-            }
-            j |= bit;
+            in_data = !in_data;
+            n = m;
+            s *= r;
         }
-        // Butterfly stages: at half-size h the twiddle is e^{-2πi k/(2h)},
-        // i.e. table index k·(n/2h).
-        let mut h = 1usize;
-        while h < n {
-            let stride = n / (2 * h);
-            let mut base = 0;
-            while base < n {
-                for k in 0..h {
-                    let w = self.twiddles[k * stride];
-                    let t = w * data[base + h + k];
-                    let a = data[base + k];
-                    data[base + k] = a + t;
-                    data[base + h + k] = a - t;
-                }
-                base += 2 * h;
-            }
-            h *= 2;
+        if !in_data {
+            data.copy_from_slice(&scratch);
         }
     }
 
@@ -142,122 +154,148 @@ impl Fft {
         }
     }
 
-    /// Recursive mixed-radix Cooley–Tukey step.
-    ///
-    /// Transforms `data[0..n]` in place. `stride` is the twiddle-table stride
-    /// (`self.len / n`), `depth` indexes into `self.factors`.
-    fn recurse(
-        &self,
-        data: &mut [Complex],
-        scratch: &mut [Complex],
-        n: usize,
-        stride: usize,
-        depth: usize,
-    ) {
-        if n == 1 {
-            return;
-        }
-        let r = self.factors[depth];
-        let m = n / r;
-
-        // Decimation in time: split into r interleaved subsequences.
-        {
-            let (dst, _) = scratch.split_at_mut(n);
-            for l in 0..r {
-                for j in 0..m {
-                    dst[l * m + j] = data[j * r + l];
-                }
-            }
-            data[..n].copy_from_slice(dst);
-        }
-
-        // Recurse on each subsequence of length m.
-        for l in 0..r {
-            self.recurse(
-                &mut data[l * m..(l + 1) * m],
-                scratch,
-                m,
-                stride * r,
-                depth + 1,
-            );
-        }
-
-        // Combine: X[q + m*s] = Σ_l tw(l*(q + m*s)) · Y_l[q]. The radices
-        // that occur in the modem sizes (2^a·3^b·5^c) get in-place
-        // butterflies with direct twiddle lookups; other primes fall back to
-        // the generic scratch loop.
+    /// One Stockham pass: `src` viewed as `s` interleaved sequences of
+    /// length `r·m` is decimated by `r`; outputs land at
+    /// `dst[q + s·(r·p + j)] = (Σ_l src[q + s·(p + l·m)]·ω_r^{lj})·w^{pj}`
+    /// with `w = e^{-2πi s / len}` (twiddle index `p·j·s < len`, no
+    /// modular reduction needed).
+    fn pass(&self, r: usize, m: usize, s: usize, src: &[Complex], dst: &mut [Complex]) {
         match r {
-            2 => self.combine2(data, m, stride),
-            3 => self.combine3(data, m, stride),
-            5 => self.combine5(data, m, stride),
-            _ => {
-                let (dst, _) = scratch.split_at_mut(n);
-                for s in 0..r {
-                    for q in 0..m {
-                        let k = q + m * s;
-                        let mut acc = ZERO;
-                        for l in 0..r {
-                            // twiddle index l*k*stride mod len
-                            let idx = (l * k * stride) % self.len;
-                            acc += self.twiddles[idx] * data[l * m + q];
-                        }
-                        dst[k] = acc;
-                    }
-                }
-                data[..n].copy_from_slice(dst);
+            2 => self.pass2(m, s, src, dst),
+            3 => self.pass3(m, s, src, dst),
+            4 => self.pass4(m, s, src, dst),
+            5 => self.pass5(m, s, src, dst),
+            _ => self.pass_generic(r, m, s, src, dst),
+        }
+    }
+
+    fn pass2(&self, m: usize, s: usize, src: &[Complex], dst: &mut [Complex]) {
+        let ms = m * s;
+        for p in 0..m {
+            let w = self.twiddles[p * s];
+            let sp = s * p;
+            for q in 0..s {
+                let a = src[q + sp];
+                let b = src[q + sp + ms];
+                dst[q + 2 * sp] = a + b;
+                dst[q + 2 * sp + s] = (a - b) * w;
             }
         }
     }
 
-    /// Radix-2 combine over `data[0..2m]`: `tw[(q+m)·stride] = −tw[q·stride]`
-    /// because `2·m·stride = len`, so each pair needs one twiddle.
-    fn combine2(&self, data: &mut [Complex], m: usize, stride: usize) {
-        for q in 0..m {
-            let w = self.twiddles[q * stride];
-            let t = w * data[m + q];
-            let a = data[q];
-            data[q] = a + t;
-            data[m + q] = a - t;
+    fn pass3(&self, m: usize, s: usize, src: &[Complex], dst: &mut [Complex]) {
+        // ω_3 = −1/2 − i·√3/2
+        const S3: f64 = 0.866_025_403_784_438_6; // sin(π/3)
+        let ms = m * s;
+        for p in 0..m {
+            let w1 = self.twiddles[p * s];
+            let w2 = self.twiddles[2 * p * s];
+            let sp = s * p;
+            for q in 0..s {
+                let a0 = src[q + sp];
+                let a1 = src[q + sp + ms];
+                let a2 = src[q + sp + 2 * ms];
+                let t = a1 + a2;
+                let v = (a1 - a2).scale(S3);
+                let mid = a0 - t.scale(0.5);
+                dst[q + 3 * sp] = a0 + t;
+                dst[q + 3 * sp + s] = sub_i(mid, v) * w1;
+                dst[q + 3 * sp + 2 * s] = add_i(mid, v) * w2;
+            }
         }
     }
 
-    /// Radix-3 combine over `data[0..3m]` using the cube roots of unity
-    /// `ω^s = tw[s·len/3]` to shift between output thirds.
-    fn combine3(&self, data: &mut [Complex], m: usize, stride: usize) {
-        let w3 = self.twiddles[self.len / 3];
-        let w3_2 = self.twiddles[2 * self.len / 3];
-        for q in 0..m {
-            let b = self.twiddles[q * stride] * data[m + q];
-            let c = self.twiddles[2 * q * stride] * data[2 * m + q];
-            let a = data[q];
-            data[q] = a + b + c;
-            data[m + q] = a + w3 * b + w3_2 * c;
-            data[2 * m + q] = a + w3_2 * b + w3 * c;
+    fn pass4(&self, m: usize, s: usize, src: &[Complex], dst: &mut [Complex]) {
+        let ms = m * s;
+        for p in 0..m {
+            let w1 = self.twiddles[p * s];
+            let w2 = self.twiddles[2 * p * s];
+            let w3 = self.twiddles[3 * p * s];
+            let sp = s * p;
+            for q in 0..s {
+                let a0 = src[q + sp];
+                let a1 = src[q + sp + ms];
+                let a2 = src[q + sp + 2 * ms];
+                let a3 = src[q + sp + 3 * ms];
+                let sum02 = a0 + a2;
+                let dif02 = a0 - a2;
+                let sum13 = a1 + a3;
+                let dif13 = a1 - a3;
+                dst[q + 4 * sp] = sum02 + sum13;
+                dst[q + 4 * sp + s] = sub_i(dif02, dif13) * w1;
+                dst[q + 4 * sp + 2 * s] = (sum02 - sum13) * w2;
+                dst[q + 4 * sp + 3 * s] = add_i(dif02, dif13) * w3;
+            }
         }
     }
 
-    /// Radix-5 combine over `data[0..5m]` using the fifth roots of unity
-    /// `ω^s = tw[s·len/5]`.
-    fn combine5(&self, data: &mut [Complex], m: usize, stride: usize) {
-        let w5 = [
-            self.twiddles[self.len / 5],
-            self.twiddles[2 * self.len / 5],
-            self.twiddles[3 * self.len / 5],
-            self.twiddles[4 * self.len / 5],
-        ];
-        for q in 0..m {
-            let a = data[q];
-            let b1 = self.twiddles[q * stride] * data[m + q];
-            let b2 = self.twiddles[2 * q * stride] * data[2 * m + q];
-            let b3 = self.twiddles[3 * q * stride] * data[3 * m + q];
-            let b4 = self.twiddles[4 * q * stride] * data[4 * m + q];
-            data[q] = a + b1 + b2 + b3 + b4;
-            data[m + q] = a + w5[0] * b1 + w5[1] * b2 + w5[2] * b3 + w5[3] * b4;
-            data[2 * m + q] = a + w5[1] * b1 + w5[3] * b2 + w5[0] * b3 + w5[2] * b4;
-            data[3 * m + q] = a + w5[2] * b1 + w5[0] * b2 + w5[3] * b3 + w5[1] * b4;
-            data[4 * m + q] = a + w5[3] * b1 + w5[2] * b2 + w5[1] * b3 + w5[0] * b4;
+    fn pass5(&self, m: usize, s: usize, src: &[Complex], dst: &mut [Complex]) {
+        // ω_5^k = C_k − i·S_k
+        const C1: f64 = 0.309_016_994_374_947_45; // cos(2π/5)
+        const S1: f64 = 0.951_056_516_295_153_5; // sin(2π/5)
+        const C2: f64 = -0.809_016_994_374_947_5; // cos(4π/5)
+        const S2: f64 = 0.587_785_252_292_473_1; // sin(4π/5)
+        let ms = m * s;
+        for p in 0..m {
+            let w1 = self.twiddles[p * s];
+            let w2 = self.twiddles[2 * p * s];
+            let w3 = self.twiddles[3 * p * s];
+            let w4 = self.twiddles[4 * p * s];
+            let sp = s * p;
+            for q in 0..s {
+                let a0 = src[q + sp];
+                let a1 = src[q + sp + ms];
+                let a2 = src[q + sp + 2 * ms];
+                let a3 = src[q + sp + 3 * ms];
+                let a4 = src[q + sp + 4 * ms];
+                let t1 = a1 + a4;
+                let t2 = a1 - a4;
+                let t3 = a2 + a3;
+                let t4 = a2 - a3;
+                let m1 = a0 + t1.scale(C1) + t3.scale(C2);
+                let m2 = a0 + t1.scale(C2) + t3.scale(C1);
+                let v1 = t2.scale(S1) + t4.scale(S2);
+                let v2 = t2.scale(S2) - t4.scale(S1);
+                dst[q + 5 * sp] = a0 + t1 + t3;
+                dst[q + 5 * sp + s] = sub_i(m1, v1) * w1;
+                dst[q + 5 * sp + 2 * s] = sub_i(m2, v2) * w2;
+                dst[q + 5 * sp + 3 * s] = add_i(m2, v2) * w3;
+                dst[q + 5 * sp + 4 * s] = add_i(m1, v1) * w4;
+            }
         }
     }
+
+    /// Generic odd-prime butterfly using the `len/r`-strided roots of
+    /// unity from the twiddle table.
+    fn pass_generic(&self, r: usize, m: usize, s: usize, src: &[Complex], dst: &mut [Complex]) {
+        let ms = m * s;
+        let root_stride = self.len / r;
+        for p in 0..m {
+            let sp = s * p;
+            for q in 0..s {
+                for j in 0..r {
+                    let mut acc = ZERO;
+                    for l in 0..r {
+                        let root = self.twiddles[((l * j) % r) * root_stride];
+                        acc += src[q + sp + l * ms] * root;
+                    }
+                    dst[q + r * sp + j * s] = acc * self.twiddles[p * j * s];
+                }
+            }
+        }
+    }
+}
+
+/// `a − i·v`.
+#[inline]
+fn sub_i(a: Complex, v: Complex) -> Complex {
+    Complex::new(a.re + v.im, a.im - v.re)
+}
+
+/// `a + i·v`.
+#[inline]
+fn add_i(a: Complex, v: Complex) -> Complex {
+    Complex::new(a.re - v.im, a.im + v.re)
 }
 
 impl Bluestein {
@@ -302,6 +340,156 @@ impl Bluestein {
     }
 }
 
+/// A planned FFT for **real-valued** signals of a fixed (even) length N:
+/// forward via one N/2-point complex FFT plus untangling, inverse from a
+/// Hermitian half-spectrum by the reverse construction. Odd lengths fall
+/// back to the complex plan internally, so every length works.
+///
+/// The half-spectrum convention is bins `0..=N/2` of the unnormalized
+/// DFT; the remaining bins of a real signal's spectrum are the mirror
+/// `X[N−k] = conj(X[k])` and are never materialized on this path.
+pub struct RealFft {
+    len: usize,
+    /// Half-size complex plan (even lengths).
+    half: Option<Rc<Fft>>,
+    /// Full-size complex fallback (odd lengths).
+    full: Option<Rc<Fft>>,
+    /// Untangling twiddles `e^{-2πi k/len}` for `k < len/2`.
+    w: Vec<Complex>,
+}
+
+impl RealFft {
+    /// Plans a real FFT of length `len`. Panics if `len == 0`.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "FFT length must be positive");
+        if len % 2 == 0 && len >= 2 {
+            let m = len / 2;
+            Self {
+                len,
+                half: Some(planner(m)),
+                full: None,
+                w: (0..m)
+                    .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / len as f64))
+                    .collect(),
+            }
+        } else {
+            Self {
+                len,
+                half: None,
+                full: Some(planner(len)),
+                w: Vec::new(),
+            }
+        }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true if the planned length is zero (never: length is >= 1).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of half-spectrum bins: `len/2 + 1`.
+    pub fn spectrum_len(&self) -> usize {
+        self.len / 2 + 1
+    }
+
+    /// Forward DFT of a real signal, returning bins `0..=len/2`.
+    pub fn forward_half(&self, signal: &[f64]) -> Vec<Complex> {
+        assert_eq!(signal.len(), self.len, "FFT length mismatch");
+        let Some(half) = &self.half else {
+            // Odd length: full complex transform, truncated.
+            let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::real(x)).collect();
+            self.full.as_ref().unwrap().forward(&mut buf);
+            buf.truncate(self.spectrum_len());
+            return buf;
+        };
+        let m = self.len / 2;
+        // Pack adjacent samples into complex pairs: z[n] = x[2n] + i·x[2n+1].
+        let mut z: Vec<Complex> = (0..m)
+            .map(|i| Complex::new(signal[2 * i], signal[2 * i + 1]))
+            .collect();
+        half.forward(&mut z);
+        // Untangle: E[k] = (Z[k]+conj(Z[M−k]))/2 is the even-sample DFT,
+        // O[k] = −i·(Z[k]−conj(Z[M−k]))/2 the odd-sample DFT, and
+        // X[k] = E[k] + w^k·O[k].
+        let mut out = vec![ZERO; m + 1];
+        out[0] = Complex::real(z[0].re + z[0].im);
+        out[m] = Complex::real(z[0].re - z[0].im);
+        for k in 1..m {
+            let zk = z[k];
+            let zc = z[m - k].conj();
+            let even = (zk + zc).scale(0.5);
+            let half_dif = (zk - zc).scale(0.5);
+            let odd = Complex::new(half_dif.im, -half_dif.re); // −i·(Z[k]−conj(Z[M−k]))/2
+            out[k] = even + self.w[k] * odd;
+        }
+        out
+    }
+
+    /// Forward DFT of a real signal, returning the full `len`-bin spectrum
+    /// (half-spectrum plus its Hermitian mirror).
+    pub fn forward_full(&self, signal: &[f64]) -> Vec<Complex> {
+        extend_hermitian(&self.forward_half(signal), self.len)
+    }
+
+    /// Inverse DFT (normalized by `1/len`) of a Hermitian half-spectrum
+    /// (`len/2 + 1` bins; bins 0 and `len/2` must be real up to rounding),
+    /// returning the real signal. Exact inverse of
+    /// [`forward_half`](RealFft::forward_half).
+    pub fn inverse_half(&self, half_spec: &[Complex]) -> Vec<f64> {
+        assert_eq!(
+            half_spec.len(),
+            self.spectrum_len(),
+            "half-spectrum length mismatch"
+        );
+        let Some(half) = &self.half else {
+            // Odd length: mirror and run the complex inverse.
+            let mut buf = extend_hermitian(half_spec, self.len);
+            self.full.as_ref().unwrap().inverse(&mut buf);
+            return buf.into_iter().map(|c| c.re).collect();
+        };
+        let m = self.len / 2;
+        // Reverse the untangling: Z[k] = E[k] + i·O[k] with
+        // E[k] = (X[k]+conj(X[M−k]))/2, O[k] = (X[k]−conj(X[M−k]))·w̄^k/2.
+        let mut z = vec![ZERO; m];
+        for (k, zk) in z.iter_mut().enumerate() {
+            let xk = half_spec[k];
+            let xc = half_spec[m - k].conj();
+            let even = (xk + xc).scale(0.5);
+            let odd = ((xk - xc) * self.w[k].conj()).scale(0.5);
+            *zk = add_i(even, odd);
+        }
+        half.inverse(&mut z);
+        let mut out = Vec::with_capacity(self.len);
+        for c in z {
+            out.push(c.re);
+            out.push(c.im);
+        }
+        out
+    }
+}
+
+/// Mirrors a half-spectrum (`len/2 + 1` bins) into the full Hermitian
+/// `len`-bin spectrum of a real signal: `X[len−k] = conj(X[k])`.
+pub fn extend_hermitian(half_spec: &[Complex], len: usize) -> Vec<Complex> {
+    assert_eq!(
+        half_spec.len(),
+        len / 2 + 1,
+        "half-spectrum length mismatch"
+    );
+    let mut full = Vec::with_capacity(len);
+    full.extend_from_slice(&half_spec[..len / 2 + 1]);
+    for k in (1..(len + 1) / 2).rev() {
+        full.push(half_spec[k].conj());
+    }
+    debug_assert_eq!(full.len(), len);
+    full
+}
+
 /// Returns the prime factorization of `n`, smallest factors first.
 pub fn factorize(mut n: usize) -> Vec<usize> {
     let mut factors = Vec::new();
@@ -321,6 +509,7 @@ pub fn factorize(mut n: usize) -> Vec<usize> {
 
 thread_local! {
     static PLAN_CACHE: RefCell<HashMap<usize, Rc<Fft>>> = RefCell::new(HashMap::new());
+    static REAL_PLAN_CACHE: RefCell<HashMap<usize, Rc<RealFft>>> = RefCell::new(HashMap::new());
 }
 
 /// Returns a cached FFT plan for `len` (plans are cached per thread).
@@ -334,12 +523,21 @@ pub fn planner(len: usize) -> Rc<Fft> {
     })
 }
 
+/// Returns a cached real-FFT plan for `len` (cached per thread).
+pub fn real_planner(len: usize) -> Rc<RealFft> {
+    REAL_PLAN_CACHE.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry(len)
+            .or_insert_with(|| Rc::new(RealFft::new(len)))
+            .clone()
+    })
+}
+
 /// Convenience: forward FFT of a real signal, returning the full complex
-/// spectrum of length `signal.len()`.
+/// spectrum of length `signal.len()` (computed on the half-size real path).
 pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
-    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::real(x)).collect();
-    planner(signal.len()).forward(&mut buf);
-    buf
+    real_planner(signal.len()).forward_full(signal)
 }
 
 /// Convenience: forward FFT of a complex signal in place.
@@ -355,10 +553,19 @@ pub fn ifft_in_place(data: &mut [Complex]) {
 /// Inverse FFT returning only the real parts — used to synthesize real
 /// OFDM waveforms from Hermitian-symmetric spectra (or to take the real
 /// projection of an analytic synthesis).
+///
+/// Runs on the half-size real path: the real part of the inverse DFT
+/// equals the inverse of the spectrum's Hermitian part
+/// `(X[k] + conj(X[N−k]))/2`, which is symmetrized here and handed to
+/// [`RealFft::inverse_half`] — for already-Hermitian inputs the
+/// symmetrization is the identity.
 pub fn ifft_real(spectrum: &[Complex]) -> Vec<f64> {
-    let mut buf = spectrum.to_vec();
-    planner(buf.len()).inverse(&mut buf);
-    buf.into_iter().map(|c| c.re).collect()
+    let n = spectrum.len();
+    let plan = real_planner(n);
+    let half: Vec<Complex> = (0..n / 2 + 1)
+        .map(|k| (spectrum[k] + spectrum[(n - k) % n].conj()).scale(0.5))
+        .collect();
+    plan.inverse_half(&half)
 }
 
 #[cfg(test)]
@@ -400,8 +607,37 @@ mod tests {
 
     #[test]
     fn matches_naive_dft_for_mixed_radix_sizes() {
-        for &n in &[1usize, 2, 3, 4, 5, 6, 8, 12, 15, 20, 30, 60, 96, 960 / 8] {
+        for &n in &[
+            1usize,
+            2,
+            3,
+            4,
+            5,
+            6,
+            8,
+            12,
+            15,
+            16,
+            20,
+            30,
+            60,
+            64,
+            96,
+            960 / 8,
+        ] {
             let x = rand_signal(n, n as u64);
+            let mut y = x.clone();
+            Fft::new(n).forward(&mut y);
+            let want = naive_dft(&x);
+            assert!(max_err(&y, &want) < 1e-8 * n as f64, "size {n}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_for_odd_primes_in_radix_plan() {
+        // 7·3 = 21 and 11·2 = 22 exercise the generic odd-prime butterfly.
+        for &n in &[7usize, 14, 21, 22, 33, 31] {
+            let x = rand_signal(n, 5 + n as u64);
             let mut y = x.clone();
             Fft::new(n).forward(&mut y);
             let want = naive_dft(&x);
@@ -480,10 +716,20 @@ mod tests {
     }
 
     #[test]
+    fn radix_plan_fuses_twos_into_fours() {
+        assert_eq!(radix_plan(&factorize(960)), vec![4, 4, 4, 3, 5]);
+        assert_eq!(radix_plan(&factorize(32)), vec![4, 4, 2]);
+        assert_eq!(radix_plan(&factorize(21)), vec![3, 7]);
+    }
+
+    #[test]
     fn planner_reuses_plans() {
         let a = planner(960);
         let b = planner(960);
         assert!(Rc::ptr_eq(&a, &b));
+        let ra = real_planner(960);
+        let rb = real_planner(960);
+        assert!(Rc::ptr_eq(&ra, &rb));
     }
 
     #[test]
@@ -496,5 +742,53 @@ mod tests {
         let spec = fft_real(&signal);
         assert!((spec[k0].abs() - n as f64 / 2.0).abs() < 1e-6);
         assert!((spec[n - k0].abs() - n as f64 / 2.0).abs() < 1e-6);
+    }
+
+    /// The complex-path oracle the real fast path must match.
+    fn fft_real_oracle(signal: &[f64]) -> Vec<Complex> {
+        let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::real(x)).collect();
+        planner(signal.len()).forward(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn real_forward_matches_complex_oracle() {
+        for &n in &[2usize, 4, 6, 10, 16, 37, 63, 960, 1024, 4800] {
+            let x: Vec<f64> = rand_signal(n, 11 + n as u64).iter().map(|c| c.re).collect();
+            let fast = fft_real(&x);
+            let want = fft_real_oracle(&x);
+            assert!(max_err(&fast, &want) < 1e-9 * n as f64, "size {n}");
+        }
+    }
+
+    #[test]
+    fn real_half_spectrum_roundtrips() {
+        for &n in &[2usize, 8, 10, 960, 1920, 4800, 31] {
+            let x: Vec<f64> = rand_signal(n, 23 + n as u64).iter().map(|c| c.im).collect();
+            let plan = RealFft::new(n);
+            let half = plan.forward_half(&x);
+            assert_eq!(half.len(), plan.spectrum_len());
+            let back = plan.inverse_half(&half);
+            let err = x
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-10, "size {n}: err {err}");
+        }
+    }
+
+    #[test]
+    fn ifft_real_takes_real_projection_of_non_hermitian_spectra() {
+        // The documented contract: Re(IDFT(X)) for arbitrary X, matching
+        // the complex path bit-for-nearly-bit.
+        let n = 96;
+        let spec = rand_signal(n, 99);
+        let fast = ifft_real(&spec);
+        let mut buf = spec.clone();
+        planner(n).inverse(&mut buf);
+        for (a, c) in fast.iter().zip(&buf) {
+            assert!((a - c.re).abs() < 1e-12);
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! overlap-add; short ones run directly.
 
 use crate::complex::{Complex, ZERO};
-use crate::fft::planner;
+use crate::fft::real_planner;
 use crate::window::Window;
 
 /// Designs a linear-phase lowpass FIR with `taps` coefficients and cutoff
@@ -78,25 +78,31 @@ pub fn convolve(x: &[f64], h: &[f64]) -> Vec<f64> {
 }
 
 /// FFT-based convolution, "full" mode. Much faster for long inputs.
+///
+/// Both inputs are real, so this runs on the half-size real-FFT path
+/// ([`crate::fft::RealFft`]): two half-spectrum forwards, a pointwise
+/// product over `n/2 + 1` bins, and one Hermitian inverse — roughly half
+/// the complex-transform work of the naive full-length approach. This is
+/// the channel renderer's inner loop, paid several times per trial.
 pub fn fft_convolve(x: &[f64], h: &[f64]) -> Vec<f64> {
     if x.is_empty() || h.is_empty() {
         return Vec::new();
     }
     let out_len = x.len() + h.len() - 1;
     let n = out_len.next_power_of_two();
-    let plan = planner(n);
-    let mut a: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
-    a.resize(n, ZERO);
-    let mut b: Vec<Complex> = h.iter().map(|&v| Complex::real(v)).collect();
-    b.resize(n, ZERO);
-    plan.forward(&mut a);
-    plan.forward(&mut b);
-    for (p, q) in a.iter_mut().zip(&b) {
+    let plan = real_planner(n);
+    let mut a = x.to_vec();
+    a.resize(n, 0.0);
+    let mut b = h.to_vec();
+    b.resize(n, 0.0);
+    let mut fa = plan.forward_half(&a);
+    let fb = plan.forward_half(&b);
+    for (p, q) in fa.iter_mut().zip(&fb) {
         *p *= *q;
     }
-    plan.inverse(&mut a);
-    a.truncate(out_len);
-    a.into_iter().map(|c| c.re).collect()
+    let mut y = plan.inverse_half(&fa);
+    y.truncate(out_len);
+    y
 }
 
 /// Convolution that picks direct or FFT form based on size.

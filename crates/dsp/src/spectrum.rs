@@ -4,7 +4,7 @@
 //! selectivity (Fig. 3), ambient noise profiles (Fig. 4) and the received
 //! spectra with the selected band overlaid (Fig. 9b,c).
 
-use crate::fft::fft_real;
+use crate::fft::real_planner;
 use crate::window::Window;
 
 /// A power spectral density estimate.
@@ -57,6 +57,9 @@ pub fn welch_psd(signal: &[f64], segment_len: usize, fs: f64, window: Window) ->
     let win_power: f64 = taps.iter().map(|v| v * v).sum::<f64>() / segment_len as f64;
     let hop = segment_len / 2;
     let half = segment_len / 2;
+    // Only bins below Nyquist are reported, so the half-spectrum real FFT
+    // computes exactly what's needed.
+    let plan = real_planner(segment_len);
     let mut acc = vec![0.0; half];
     let mut count = 0usize;
     let mut start = 0usize;
@@ -66,7 +69,7 @@ pub fn welch_psd(signal: &[f64], segment_len: usize, fs: f64, window: Window) ->
             .zip(&taps)
             .map(|(s, w)| s * w)
             .collect();
-        let spec = fft_real(&seg);
+        let spec = plan.forward_half(&seg);
         for k in 0..half {
             acc[k] += spec[k].norm_sqr();
         }
@@ -80,7 +83,7 @@ pub fn welch_psd(signal: &[f64], segment_len: usize, fs: f64, window: Window) ->
         for (s, w) in seg.iter_mut().zip(&taps) {
             *s *= w;
         }
-        let spec = fft_real(&seg);
+        let spec = plan.forward_half(&seg);
         for k in 0..half {
             acc[k] += spec[k].norm_sqr();
         }
@@ -112,6 +115,7 @@ pub fn stft(signal: &[f64], segment_len: usize, hop: usize, fs: f64, window: Win
     assert!(segment_len >= 2 && hop >= 1);
     let taps = window.build(segment_len);
     let half = segment_len / 2;
+    let plan = real_planner(segment_len);
     let mut frames = Vec::new();
     let mut times = Vec::new();
     let mut start = 0usize;
@@ -121,7 +125,7 @@ pub fn stft(signal: &[f64], segment_len: usize, hop: usize, fs: f64, window: Win
             .zip(&taps)
             .map(|(s, w)| s * w)
             .collect();
-        let spec = fft_real(&seg);
+        let spec = plan.forward_half(&seg);
         frames.push((0..half).map(|k| spec[k].norm_sqr()).collect());
         times.push(start as f64 / fs);
         start += hop;

@@ -2,7 +2,7 @@
 
 use aqua_dsp::complex::Complex;
 use aqua_dsp::correlate::{xcorr_valid, xcorr_valid_fft};
-use aqua_dsp::fft::{fft_real, Fft};
+use aqua_dsp::fft::{fft_real, ifft_real, planner, Fft, RealFft};
 use aqua_dsp::fir::{convolve, fft_convolve};
 use aqua_dsp::goertzel::goertzel;
 use aqua_dsp::stats::{percentile, qfunc};
@@ -129,5 +129,82 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&q));
         let q2 = qfunc(x + 0.1);
         prop_assert!(q2 <= q + 1e-12);
+    }
+
+    /// Real-FFT fast path ≡ the complex-path oracle at arbitrary random
+    /// lengths (the modem sizes and pow-2 / prime cases are pinned in
+    /// `real_fft_fixed_lengths_match_oracle` below).
+    #[test]
+    fn real_fft_matches_complex_oracle(x in signal_strategy(300)) {
+        let fast = fft_real(&x);
+        let mut oracle: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
+        planner(x.len()).forward(&mut oracle);
+        prop_assert_eq!(fast.len(), oracle.len());
+        for k in 0..fast.len() {
+            prop_assert!((fast[k] - oracle[k]).abs() < 1e-9 * x.len().max(16) as f64,
+                "len {} bin {}", x.len(), k);
+        }
+    }
+
+    /// ifft_real ≡ real parts of the normalized complex inverse, for
+    /// arbitrary (non-Hermitian) spectra.
+    #[test]
+    fn ifft_real_matches_complex_oracle(x in signal_strategy(200), seed in 0u64..1000) {
+        let mut s = seed | 1;
+        let mut rnd = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        let spec: Vec<Complex> = x.iter().map(|&v| Complex::new(v, rnd())).collect();
+        let fast = ifft_real(&spec);
+        let mut oracle = spec.clone();
+        planner(spec.len()).inverse(&mut oracle);
+        for k in 0..fast.len() {
+            prop_assert!((fast[k] - oracle[k].re).abs() < 1e-9, "len {} sample {}", x.len(), k);
+        }
+    }
+
+    /// forward_half → inverse_half is the identity on real signals.
+    #[test]
+    fn real_fft_roundtrip(x in signal_strategy(257)) {
+        let plan = RealFft::new(x.len());
+        let back = plan.inverse_half(&plan.forward_half(&x));
+        prop_assert_eq!(back.len(), x.len());
+        for k in 0..x.len() {
+            prop_assert!((back[k] - x[k]).abs() < 1e-10);
+        }
+    }
+}
+
+/// The satellite's fixed length set: powers of two, the modem sizes 960 and
+/// 4800, and primes (odd lengths take the complex fallback inside
+/// `RealFft`, which must also match).
+#[test]
+fn real_fft_fixed_lengths_match_oracle() {
+    for &n in &[2usize, 4, 64, 1024, 4096, 960, 1920, 4800, 7, 31, 101, 241] {
+        let mut s = n as u64 | 1;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        let x: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let fast = fft_real(&x);
+        let mut oracle: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
+        planner(n).forward(&mut oracle);
+        for k in 0..n {
+            assert!(
+                (fast[k] - oracle[k]).abs() < 1e-9 * n as f64,
+                "forward len {n} bin {k}"
+            );
+        }
+        let back = ifft_real(&fast);
+        for k in 0..n {
+            assert!(
+                (back[k] - x[k]).abs() < 1e-9,
+                "roundtrip len {n} sample {k}"
+            );
+        }
     }
 }

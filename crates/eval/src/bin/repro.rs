@@ -7,7 +7,7 @@
 //!   repro fig9 full         # the environments experiment at paper scale
 //!   repro list              # list available experiments
 
-use aqua_eval::{run_experiment, RunSize, ALL_EXPERIMENTS};
+use aqua_eval::{engine, run_experiment, RunSize, ALL_EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,12 +29,24 @@ fn main() {
     } else {
         vec![which]
     };
+    let eng = engine::global();
     for name in names {
+        let trials_before = eng.trials_run();
         let start = std::time::Instant::now();
         match run_experiment(name, size) {
             Some(report) => {
                 println!("{report}");
-                eprintln!("[{name} took {:.1} s]", start.elapsed().as_secs_f64());
+                let wall = start.elapsed().as_secs_f64();
+                let trials = eng.trials_run() - trials_before;
+                if trials > 0 {
+                    eprintln!(
+                        "[{name} took {wall:.1} s — {trials} trials, {:.1} trials/s on {} worker(s)]",
+                        trials as f64 / wall.max(1e-9),
+                        eng.workers(),
+                    );
+                } else {
+                    eprintln!("[{name} took {wall:.1} s]");
+                }
             }
             None => {
                 eprintln!("unknown experiment {name:?}; try `repro list`");

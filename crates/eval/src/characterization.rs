@@ -17,12 +17,13 @@ pub fn fig3a() -> String {
         "Fig 3a — frequency selectivity across device pairs (lake, 5 m, 1-5 kHz chirp)",
         &["pair", "mean dB (1-4k)", "swing dB", "mean dB (4-5k)"],
     );
-    for (name, model) in [
+    let pairs = [
         ("S9 -> S9", DeviceModel::GalaxyS9),
         ("S9 -> Pixel 4", DeviceModel::Pixel4),
         ("S9 -> OnePlus 8 Pro", DeviceModel::OnePlus8Pro),
         ("S9 -> Watch 4", DeviceModel::GalaxyWatch4),
-    ] {
+    ];
+    let rows = crate::engine::global().par_map_slice(&pairs, |&(name, model)| {
         let mut cfg = LinkConfig::s9_pair(
             Environment::preset(Site::Lake),
             Pos::new(0.0, 0.0, 1.0),
@@ -39,12 +40,15 @@ pub fn fig3a() -> String {
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let swing = in_band.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - in_band.iter().cloned().fold(f64::INFINITY, f64::min);
-        table.row(vec![
+        vec![
             name.to_string(),
             format!("{:.1}", mean(&in_band)),
             format!("{:.1}", swing),
             format!("{:.1}", mean(&above)),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table.render()
 }
@@ -60,7 +64,8 @@ pub fn fig3b() -> String {
             "swing dB",
         ],
     );
-    for site in [Site::Bridge, Site::Park, Site::Lake, Site::Museum] {
+    let sites = [Site::Bridge, Site::Park, Site::Lake, Site::Museum];
+    let rows = crate::engine::global().par_map_slice(&sites, |&site| {
         let mut link = sounding_link(
             Environment::preset(site),
             Pos::new(0.0, 0.0, 1.0),
@@ -77,12 +82,15 @@ pub fn fig3b() -> String {
             .map(|(i, &v)| (i, v))
             .unwrap();
         let swing = resp.iter().cloned().fold(f64::NEG_INFINITY, f64::max) - min;
-        table.row(vec![
+        vec![
             format!("{site:?}"),
             format!("{:.0}", freqs[imin]),
             format!("{:.1}", min - mean),
             format!("{:.1}", swing),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table.render()
 }
@@ -135,7 +143,9 @@ pub fn fig4() -> String {
         "Fig 4a — ambient noise across devices (same location, normalized dB)",
         &["device", "250", "500", "1k", "2k", "3k", "4.5k", "6k"],
     );
-    for (i, model) in DeviceModel::ALL.iter().enumerate() {
+    // One 5-second PSD estimate per device row, fanned out.
+    let dev_rows = crate::engine::global().par_map(DeviceModel::ALL.len(), |i| {
+        let model = DeviceModel::ALL[i];
         // per-device mic coloration: seed the generator differently per model
         let env = Environment::preset(Site::Lake);
         let mut gen = NoiseGenerator::new(env.noise.clone(), FS, 0x40 + i as u64);
@@ -147,6 +157,9 @@ pub fn fig4() -> String {
             let k = (f / (FS / 2048.0)).round() as usize;
             row.push(format!("{:.0}", norm[k.min(norm.len() - 1)]));
         }
+        row
+    });
+    for row in dev_rows {
         t_dev.row(row);
     }
     out.push_str(&t_dev.render());
@@ -160,26 +173,26 @@ pub fn fig4() -> String {
             "spread vs bridge dB",
         ],
     );
-    let mut bridge_level = 0.0;
-    for (i, site) in [
+    let sites = [
         Site::Bridge,
         Site::Park,
         Site::Beach,
         Site::Museum,
         Site::Lake,
-    ]
-    .iter()
-    .enumerate()
-    {
-        let env = Environment::preset(*site);
+    ];
+    let levels: Vec<(Site, f64, f64)> = crate::engine::global().par_map_slice(&sites, |&site| {
+        let env = Environment::preset(site);
         let mut gen = NoiseGenerator::new(env.noise.clone(), FS, 7);
         let rec = gen.generate((5.0 * FS) as usize);
         let psd = welch_psd(&rec, 2048, FS, Window::Hann);
-        let in_band = psd.mean_db_in_band(1000.0, 4000.0);
-        let low = psd.mean_db_in_band(100.0, 1000.0);
-        if i == 0 {
-            bridge_level = in_band;
-        }
+        (
+            site,
+            psd.mean_db_in_band(1000.0, 4000.0),
+            psd.mean_db_in_band(100.0, 1000.0),
+        )
+    });
+    let bridge_level = levels[0].1;
+    for (site, in_band, low) in levels {
         t_loc.row(vec![
             format!("{site:?}"),
             format!("{in_band:.1}"),
@@ -247,7 +260,7 @@ pub fn delay_spread() -> String {
         &["site", "RMS delay spread (ms)", "x CP", "equalizer needed?"],
     );
     let cp_s = 67.0 / 48_000.0;
-    for site in Site::UNDERWATER {
+    let rows = crate::engine::global().par_map_slice(&Site::UNDERWATER, |&site| {
         let mut cfg = LinkConfig::s9_pair(
             Environment::preset(site),
             Pos::new(0.0, 0.0, 1.0),
@@ -257,12 +270,15 @@ pub fn delay_spread() -> String {
         cfg.noise = false;
         let mut link = Link::new(cfg);
         let spread = link.rms_delay_spread_s(0.0);
-        table.row(vec![
+        vec![
             format!("{site:?}"),
             format!("{:.2}", spread * 1e3),
             format!("{:.1}", spread / cp_s),
             if spread > cp_s { "yes" } else { "CP suffices" }.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table.render()
 }

@@ -6,14 +6,17 @@
 //! index and EXPERIMENTS.md for recorded paper-vs-measured results.
 //!
 //! Run `cargo run -p aqua-eval --release --bin repro -- all standard` to
-//! regenerate everything (≈45 min on two laptop cores — the range and
-//! mobility sweeps render hundreds of moving-channel packets; `quick`
-//! finishes in ≈5 min at 8 packets per configuration).
+//! regenerate everything. Experiments fan their independent seeded trials
+//! out over all cores through [`engine::ExperimentEngine`] with results
+//! bit-identical to a serial run (DESIGN.md §8); `AQUA_PAR_THREADS=1`
+//! forces the serial baseline. On one core a full `standard` regeneration
+//! is minutes, not the tens of minutes of the pre-engine harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod characterization;
+pub mod engine;
 pub mod link_experiments;
 pub mod network;
 pub mod robustness;

@@ -45,57 +45,60 @@ pub fn fig8(size: RunSize) -> String {
         RunSize::Full => 500,
     };
     let band = Band::new(0, params.num_bins - 1);
-    // (snr_db, errors, bits) accumulated per bin over all distances
-    let mut points: Vec<(f64, usize, usize)> = Vec::new();
+    // (snr_db, errors, bits) per bin, one independent fan-out per distance
+    // (each distance renders its own link and long uncoded burst).
+    let distances = [5.0, 10.0, 20.0];
+    let per_distance: Vec<Vec<(f64, usize, usize)>> =
+        crate::engine::global().par_map(distances.len(), |di| {
+            let dist = distances[di];
+            let mut points = Vec::new();
+            let mut link = Link::new(LinkConfig::s9_pair(
+                Environment::preset(Site::Bridge),
+                Pos::new(0.0, 0.0, 1.0),
+                Pos::new(dist, 0.0, 1.0),
+                40 + di as u64,
+            ));
+            // SNR estimate from a preamble
+            let preamble = Preamble::new(params);
+            let mut lead = vec![0.0; 2400];
+            lead.extend_from_slice(&preamble.samples);
+            let pre_rx = crate::front_end(&link.transmit(&lead, 0.0));
+            let Some(det) = detect(&pre_rx, &preamble, &DetectorConfig::default()) else {
+                return points;
+            };
+            let est = estimate(&params, &preamble, &pre_rx[det.offset..]);
 
-    for (di, dist) in [5.0, 10.0, 20.0].into_iter().enumerate() {
-        let mut link = Link::new(LinkConfig::s9_pair(
-            Environment::preset(Site::Bridge),
-            Pos::new(0.0, 0.0, 1.0),
-            Pos::new(dist, 0.0, 1.0),
-            40 + di as u64,
-        ));
-        // SNR estimate from a preamble
-        let preamble = Preamble::new(params);
-        let mut lead = vec![0.0; 2400];
-        lead.extend_from_slice(&preamble.samples);
-        let pre_rx = crate::front_end(&link.transmit(&lead, 0.0));
-        let Some(det) = detect(&pre_rx, &preamble, &DetectorConfig::default()) else {
-            continue;
-        };
-        let est = estimate(&params, &preamble, &pre_rx[det.offset..]);
-
-        // known coded bits (uncoded transmission: feed them straight in)
-        let mut rng = StdRng::seed_from_u64(77 + di as u64);
-        let nbits = symbols * params.num_bins;
-        let bits: Vec<u8> = (0..nbits).map(|_| rng.gen_range(0..2u8)).collect();
-        let tx = modulate_coded(&params, band, &bits, true);
-        let rx = crate::front_end(&link.transmit(&tx, 1.0));
-        let start = det.offset.saturating_sub(2400);
-        let aligned = &rx[start.min(rx.len().saturating_sub(1))..];
-        if aligned.len() < tx.len() {
-            continue;
-        }
-        let opts = DecodeOptions {
-            bandpass: false,
-            ..DecodeOptions::default()
-        };
-        // demodulate_data expects payload_bits for rate 2/3; we bypass the
-        // Viterbi by reading coded_hard directly with payload sized so the
-        // coded length matches nbits (nbits = 3/2 * payload).
-        let payload_bits = nbits * 2 / 3;
-        let decoded = demodulate_data(&params, band, aligned, payload_bits, &opts);
-        // per-bin error accounting via the interleaver order
-        let order = aqua_coding::interleave::symbol_order(band.len());
-        for (i, (&tx_bit, &rx_bit)) in bits.iter().zip(&decoded.coded_hard).enumerate() {
-            let sym = i / band.len();
-            let j = i % band.len();
-            let bin = order[j];
-            let _ = sym;
-            let snr = est.snr_db[bin];
-            points.push((snr, (tx_bit != rx_bit) as usize, 1));
-        }
-    }
+            // known coded bits (uncoded transmission: feed them straight in)
+            let mut rng = StdRng::seed_from_u64(77 + di as u64);
+            let nbits = symbols * params.num_bins;
+            let bits: Vec<u8> = (0..nbits).map(|_| rng.gen_range(0..2u8)).collect();
+            let tx = modulate_coded(&params, band, &bits, true);
+            let rx = crate::front_end(&link.transmit(&tx, 1.0));
+            let start = det.offset.saturating_sub(2400);
+            let aligned = &rx[start.min(rx.len().saturating_sub(1))..];
+            if aligned.len() < tx.len() {
+                return points;
+            }
+            let opts = DecodeOptions {
+                bandpass: false,
+                ..DecodeOptions::default()
+            };
+            // demodulate_data expects payload_bits for rate 2/3; we bypass
+            // the Viterbi by reading coded_hard directly with payload sized
+            // so the coded length matches nbits (nbits = 3/2 * payload).
+            let payload_bits = nbits * 2 / 3;
+            let decoded = demodulate_data(&params, band, aligned, payload_bits, &opts);
+            // per-bin error accounting via the interleaver order
+            let order = aqua_coding::interleave::symbol_order(band.len());
+            for (i, (&tx_bit, &rx_bit)) in bits.iter().zip(&decoded.coded_hard).enumerate() {
+                let j = i % band.len();
+                let bin = order[j];
+                let snr = est.snr_db[bin];
+                points.push((snr, (tx_bit != rx_bit) as usize, 1));
+            }
+            points
+        });
+    let points: Vec<(f64, usize, usize)> = per_distance.into_iter().flatten().collect();
 
     // bucket by SNR in 2 dB steps
     let mut table = Table::new(

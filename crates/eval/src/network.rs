@@ -24,7 +24,10 @@ pub fn fig12d(size: RunSize) -> String {
         "Fig 12d — FSK beacon uncoded BER vs distance (beach, 1 m depth)",
         &["distance", "5 bps", "10 bps", "20 bps"],
     );
-    for dist in [20.0, 40.0, 60.0, 80.0, 100.0, 113.0] {
+    let distances = [20.0, 40.0, 60.0, 80.0, 100.0, 113.0];
+    // Each (distance, bitrate) cell renders an independent seeded FSK
+    // burst; fan the distance rows out and keep the cells in order.
+    let rows = crate::engine::global().par_map_slice(&distances, |&dist| {
         let mut row = vec![format!("{dist} m")];
         for params in [FskParams::bps5(), FskParams::bps10(), FskParams::bps20()] {
             let mut rng = StdRng::seed_from_u64(60_000 + dist as u64 + params.symbol_len as u64);
@@ -43,6 +46,9 @@ pub fn fig12d(size: RunSize) -> String {
             let ber = aqua_coding::bits::bit_error_rate(&bits, &decoded);
             row.push(format!("{ber:.3}"));
         }
+        row
+    });
+    for row in rows {
         table.row(row);
     }
     table.render()
@@ -61,44 +67,51 @@ pub fn fig19(size: RunSize) -> String {
         "Fig 19 — MAC collision fraction (bridge)",
         &["network", "carrier sense", "collision fraction", "paper"],
     );
-    for (n_tx, paper_no_cs, paper_cs) in [(2usize, "33%", "5%"), (3, "53%", "7%")] {
-        // n_tx transmitters + 1 receiver placed 5-10 m apart
-        let mut positions = vec![Pos::new(0.0, 0.0, 1.0)];
-        for i in 0..n_tx {
-            positions.push(Pos::new(5.0 + 2.0 * i as f64, (i as f64 - 1.0) * 4.0, 1.0));
-        }
-        let devices: Vec<Device> = (0..=n_tx)
-            .map(|i| Device::default_rig(i as u64 + 1))
-            .collect();
-        let env = Environment::preset(Site::Bridge);
-        let full_gains = gain_matrix(&env, &positions, &devices);
-        let nf = noise_floor(&env, positions.len());
-        // transmit band power scales the gain matrix into sensed power
-        let tx_power = 0.04; // target_rms²
-        let gains: Vec<Vec<f64>> = full_gains
-            .iter()
-            .map(|row| row.iter().map(|g| g * tx_power).collect())
-            .collect();
-        // node 0 is the receiver: it never transmits; model by running the
-        // simulation over the transmitter subset (indices 1..)
-        let tx_gains: Vec<Vec<f64>> = (1..=n_tx)
-            .map(|i| (1..=n_tx).map(|j| gains[i][j]).collect())
-            .collect();
-        let tx_nf: Vec<f64> = (1..=n_tx).map(|i| nf[i]).collect();
-        for cs in [false, true] {
-            let cfg = MacConfig {
-                carrier_sense: cs,
-                max_packets,
-                ..MacConfig::default()
-            };
-            let result = simulate(&cfg, &tx_gains, &tx_nf, 73 + n_tx as u64);
-            table.row(vec![
-                format!("{n_tx} transmitters"),
-                if cs { "on" } else { "off" }.to_string(),
-                pct(result.collision_fraction),
-                if cs { paper_cs } else { paper_no_cs }.to_string(),
-            ]);
-        }
+    let networks = [(2usize, "33%", "5%"), (3, "53%", "7%")];
+    let network_rows =
+        crate::engine::global().par_map_slice(&networks, |&(n_tx, paper_no_cs, paper_cs)| {
+            let mut rows: Vec<Vec<String>> = Vec::new();
+            // n_tx transmitters + 1 receiver placed 5-10 m apart
+            let mut positions = vec![Pos::new(0.0, 0.0, 1.0)];
+            for i in 0..n_tx {
+                positions.push(Pos::new(5.0 + 2.0 * i as f64, (i as f64 - 1.0) * 4.0, 1.0));
+            }
+            let devices: Vec<Device> = (0..=n_tx)
+                .map(|i| Device::default_rig(i as u64 + 1))
+                .collect();
+            let env = Environment::preset(Site::Bridge);
+            let full_gains = gain_matrix(&env, &positions, &devices);
+            let nf = noise_floor(&env, positions.len());
+            // transmit band power scales the gain matrix into sensed power
+            let tx_power = 0.04; // target_rms²
+            let gains: Vec<Vec<f64>> = full_gains
+                .iter()
+                .map(|row| row.iter().map(|g| g * tx_power).collect())
+                .collect();
+            // node 0 is the receiver: it never transmits; model by running the
+            // simulation over the transmitter subset (indices 1..)
+            let tx_gains: Vec<Vec<f64>> = (1..=n_tx)
+                .map(|i| (1..=n_tx).map(|j| gains[i][j]).collect())
+                .collect();
+            let tx_nf: Vec<f64> = (1..=n_tx).map(|i| nf[i]).collect();
+            for cs in [false, true] {
+                let cfg = MacConfig {
+                    carrier_sense: cs,
+                    max_packets,
+                    ..MacConfig::default()
+                };
+                let result = simulate(&cfg, &tx_gains, &tx_nf, 73 + n_tx as u64);
+                rows.push(vec![
+                    format!("{n_tx} transmitters"),
+                    if cs { "on" } else { "off" }.to_string(),
+                    pct(result.collision_fraction),
+                    if cs { paper_cs } else { paper_no_cs }.to_string(),
+                ]);
+            }
+            rows
+        });
+    for row in network_rows.into_iter().flatten() {
+        table.row(row);
     }
     table.render()
 }

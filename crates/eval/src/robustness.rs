@@ -117,8 +117,10 @@ pub fn fig16(size: RunSize) -> String {
         &["scenario", "min-SNR CDF (dB)", "frac below 4 dB"],
     );
     for (name, traj) in mobility_scenarios(Pos::new(0.0, 0.0, 1.0)) {
-        let samples: Vec<f64> = (0..n)
-            .filter_map(|i| stability_sample(&traj, 31_000 + i as u64))
+        let samples: Vec<f64> = crate::engine::global()
+            .par_map(n, |i| stability_sample(&traj, 31_000 + i as u64))
+            .into_iter()
+            .flatten()
             .collect();
         if samples.is_empty() {
             table.row(vec![
@@ -146,9 +148,6 @@ pub fn preamble_and_feedback_stats(size: RunSize) -> String {
     let params = OfdmParams::default();
     let preamble = Preamble::new(params);
     let cfg = DetectorConfig::default();
-    // one long-lived detector, reset per capture: the template spectrum is
-    // planned once, as in a real receiver
-    let mut sdet = StreamingDetector::new(preamble.clone(), cfg);
     let mut table = Table::new(
         "Preamble & feedback evaluation (lake, 1 m depth, streaming detector)",
         &[
@@ -159,11 +158,16 @@ pub fn preamble_and_feedback_stats(size: RunSize) -> String {
         ],
     );
     for dist in [5.0, 10.0, 20.0, 30.0] {
-        let mut detected = 0usize;
-        let mut disagree = 0usize;
-        let mut fb_errors = 0usize;
-        let mut fb_total = 0usize;
-        for i in 0..n {
+        // Per-capture fan-out: (detected, agrees-with-batch, feedback-error).
+        // Each worker keeps one long-lived StreamingDetector, reset per
+        // capture — decision-identical to a per-capture detector, but the
+        // template spectrum is planned once per thread, as in a real
+        // receiver.
+        thread_local! {
+            static SDET: std::cell::RefCell<Option<StreamingDetector>> =
+                const { std::cell::RefCell::new(None) };
+        }
+        let outcomes: Vec<(bool, bool, bool)> = crate::engine::global().par_map(n, |i| {
             let seed = 50_000 + i as u64 + dist as u64 * 977;
             let mut fwd = Link::new(LinkConfig::s9_pair(
                 Environment::preset(Site::Lake),
@@ -174,19 +178,20 @@ pub fn preamble_and_feedback_stats(size: RunSize) -> String {
             let mut tx = vec![0.0; 1000];
             tx.extend_from_slice(&preamble.samples);
             let rx = crate::front_end(&fwd.transmit(&tx, 0.0));
-            sdet.reset();
-            let mut found = sdet.push(&rx);
-            found.extend(sdet.flush());
-            let streaming = found.into_iter().next();
-            if streaming.is_some() {
-                detected += 1;
-            }
+            let streaming = SDET.with(|cell| {
+                let mut slot = cell.borrow_mut();
+                let sdet =
+                    slot.get_or_insert_with(|| StreamingDetector::new(preamble.clone(), cfg));
+                sdet.reset();
+                let mut found = sdet.push(&rx);
+                found.extend(sdet.flush());
+                found.into_iter().next()
+            });
             let batch = detect(&rx, &preamble, &cfg);
-            match (&streaming, &batch) {
-                (Some(s), Some(b)) if s.offset == b.offset => {}
-                (None, None) => {}
-                _ => disagree += 1,
-            }
+            let agree = matches!(
+                (&streaming, &batch),
+                (Some(s), Some(b)) if s.offset == b.offset
+            ) || matches!((&streaming, &batch), (None, None));
             // feedback reliability over the same distance (backward link)
             let band =
                 aqua_phy::bandselect::Band::new((seed % 30) as usize, 30 + (seed % 30) as usize);
@@ -199,17 +204,20 @@ pub fn preamble_and_feedback_stats(size: RunSize) -> String {
             let ambient = crate::front_end(&back.ambient(8 * params.n_fft));
             let npp = noise_bin_power(&params, &ambient);
             let fb_rx = crate::front_end(&back.transmit(&encode_feedback(&params, band), 0.0));
-            fb_total += 1;
-            match decode_feedback_whitened(&params, &fb_rx, 0.3, Some(&npp)) {
-                Some(d) if d.band == band => {}
-                _ => fb_errors += 1,
-            }
-        }
+            let fb_error = !matches!(
+                decode_feedback_whitened(&params, &fb_rx, 0.3, Some(&npp)),
+                Some(d) if d.band == band
+            );
+            (streaming.is_some(), agree, fb_error)
+        });
+        let detected = outcomes.iter().filter(|o| o.0).count();
+        let agree = outcomes.iter().filter(|o| o.1).count();
+        let fb_errors = outcomes.iter().filter(|o| o.2).count();
         table.row(vec![
             format!("{dist} m"),
             format!("{:.2}", detected as f64 / n as f64),
-            format!("{:.3}", fb_errors as f64 / fb_total as f64),
-            format!("{}/{} agree", n - disagree, n),
+            format!("{:.3}", fb_errors as f64 / n as f64),
+            format!("{agree}/{n} agree"),
         ]);
     }
     table.render()
@@ -257,9 +265,8 @@ pub fn detector_ablation(size: RunSize) -> String {
         &["distance", "two-stage miss", "raw-xcorr miss"],
     );
     for dist in [10.0, 25.0] {
-        let mut miss_full = 0usize;
-        let mut miss_coarse = 0usize;
-        for i in 0..n {
+        // (two-stage missed, raw-xcorr missed) per impulsive capture
+        let misses: Vec<(bool, bool)> = crate::engine::global().par_map(n, |i| {
             let seed = 90_000 + i as u64 + dist as u64;
             let mut cfg = LinkConfig::s9_pair(
                 Environment::preset(Site::Lake),
@@ -272,13 +279,13 @@ pub fn detector_ablation(size: RunSize) -> String {
             let mut tx = vec![0.0; 1500];
             tx.extend_from_slice(&preamble.samples);
             let rx = crate::front_end(&link.transmit(&tx, 0.0));
-            if detect(&rx, &preamble, &DetectorConfig::default()).is_none() {
-                miss_full += 1;
-            }
-            if !coarse_only(&rx) {
-                miss_coarse += 1;
-            }
-        }
+            (
+                detect(&rx, &preamble, &DetectorConfig::default()).is_none(),
+                !coarse_only(&rx),
+            )
+        });
+        let miss_full = misses.iter().filter(|m| m.0).count();
+        let miss_coarse = misses.iter().filter(|m| m.1).count();
         table.row(vec![
             format!("{dist} m"),
             pct(miss_full as f64 / n as f64),

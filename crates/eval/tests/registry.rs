@@ -13,6 +13,8 @@ fn trial(packet_ok: bool, detected: bool, bitrate: f64) -> TrialResult {
         feedback_ok: detected,
         bits: packet_ok.then(std::vec::Vec::new),
         packet_ok,
+        // an undetected preamble never transmits data
+        data_phase: detected,
         coded_ber: if packet_ok { 0.0 } else { 0.5 },
         coded_bitrate_bps: bitrate,
     }
@@ -30,7 +32,9 @@ fn summarize_computes_per_and_medians() {
     assert!((stats.detection_rate - 0.75).abs() < 1e-12);
     // median over the three detected packets' bitrates (600, 1000, 200)
     assert!((stats.median_bitrate - 600.0).abs() < 1e-9);
-    assert!((stats.coded_ber - 0.25).abs() < 1e-12);
+    // coded BER averages the three data-phase trials (0, 0, 0.5) — the
+    // undetected packet carries no coded bits and is excluded
+    assert!((stats.coded_ber - 0.5 / 3.0).abs() < 1e-12);
 }
 
 #[test]

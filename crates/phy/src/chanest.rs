@@ -4,6 +4,11 @@
 //! observations `y_i(k) = H(k)·x_i(k) + n_i(k)`. The MMSE/LS estimate
 //! averages them; the residual power yields the paper's per-bin SNR metric
 //! `SNR_k = 20·log10(‖H·x‖ / ‖y − H·x‖)`.
+//!
+//! The eight per-symbol bin extractions run on the half-spectrum real FFT
+//! path ([`analyze_core`]) — the received cores are real audio and every
+//! usable bin sits below Nyquist, so estimation pays eight `n_fft/2`-point
+//! transforms instead of eight full ones.
 
 use crate::params::OfdmParams;
 use crate::preamble::{Preamble, PREAMBLE_SYMBOLS};

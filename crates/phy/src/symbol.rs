@@ -7,23 +7,25 @@
 
 use crate::params::OfdmParams;
 use aqua_dsp::complex::{Complex, ZERO};
-use aqua_dsp::fft::planner;
+use aqua_dsp::fft::real_planner;
 
 /// Synthesizes one OFDM symbol (CP + core) from per-usable-bin complex
 /// values. `values.len()` must equal `params.num_bins`; bins with `ZERO`
 /// stay silent. No amplitude normalization is applied here — callers load
 /// bins with [`OfdmParams::bin_amplitude`]-scaled values.
+///
+/// The Hermitian mirror that makes the output real is implicit in the
+/// half-spectrum inverse ([`aqua_dsp::fft::RealFft::inverse_half`]), so
+/// synthesis pays one `n_fft/2`-point complex FFT rather than a full one.
 pub fn synthesize(params: &OfdmParams, values: &[Complex]) -> Vec<f64> {
     assert_eq!(values.len(), params.num_bins, "bin count mismatch");
     let n = params.n_fft;
-    let mut spec = vec![ZERO; n];
+    let plan = real_planner(n);
+    let mut half = vec![ZERO; plan.spectrum_len()];
     for (k, &v) in values.iter().enumerate() {
-        let bin = params.first_bin + k;
-        spec[bin] = v;
-        spec[n - bin] = v.conj();
+        half[params.first_bin + k] = v;
     }
-    planner(n).inverse(&mut spec);
-    let core: Vec<f64> = spec.iter().map(|c| c.re).collect();
+    let core = plan.inverse_half(&half);
     let mut out = Vec::with_capacity(params.symbol_len());
     out.extend_from_slice(&core[n - params.cp..]);
     out.extend_from_slice(&core);
@@ -49,11 +51,12 @@ pub fn analyze(params: &OfdmParams, samples: &[f64]) -> Vec<Complex> {
     analyze_core(params, &samples[params.cp..params.cp + params.n_fft])
 }
 
-/// Analyzes a symbol core (no CP): FFT + usable-bin extraction.
+/// Analyzes a symbol core (no CP): FFT + usable-bin extraction. The
+/// usable bins all sit below Nyquist, so the half-spectrum real FFT
+/// computes exactly the bins needed.
 pub fn analyze_core(params: &OfdmParams, core: &[f64]) -> Vec<Complex> {
     assert_eq!(core.len(), params.n_fft, "core length mismatch");
-    let mut spec: Vec<Complex> = core.iter().map(|&v| Complex::real(v)).collect();
-    planner(params.n_fft).forward(&mut spec);
+    let spec = real_planner(params.n_fft).forward_half(core);
     (0..params.num_bins)
         .map(|k| spec[params.first_bin + k])
         .collect()

@@ -1,0 +1,209 @@
+//! Offline stand-in for the data-parallel subset of
+//! [`rayon`](https://crates.io/crates/rayon) the workspace needs: a scoped
+//! thread pool with an **order-preserving, deterministic** `par_map`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal implementation on plain `std::thread::scope`. The
+//! design goal is *not* maximum scheduler cleverness but a contract the
+//! experiment harness can lean on:
+//!
+//! - **Bit-identical to serial.** `par_map(n, f)` returns exactly
+//!   `(0..n).map(f).collect()` — same values, same order — for any pure
+//!   `f`, any pool size and any chunk size. Work distribution only decides
+//!   *which thread* evaluates `f(i)`, never the result, so experiment
+//!   sweeps parallelize without perturbing a single trial.
+//! - **Chunked self-scheduling.** Workers claim fixed-size index chunks
+//!   from a shared atomic counter (work stealing degenerated to a single
+//!   shared deque, which is all a fan-out of independent equal-cost items
+//!   needs). Each worker writes results into its own buffer; the caller
+//!   merges by index afterwards.
+//! - **Panic propagation.** A panic in any task is re-raised on the caller
+//!   (first panicking worker wins; the remaining workers finish or panic
+//!   harmlessly), so `par_map` inside a test behaves like the serial loop.
+//!
+//! Swap for `rayon` if network access ever appears; `Pool::par_map` maps
+//! onto `par_iter().map().collect()` one-to-one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the default worker count (`0` or `1`
+/// selects the serial fallback).
+pub const THREADS_ENV: &str = "AQUA_PAR_THREADS";
+
+/// A fixed-width scoped thread pool.
+///
+/// The pool holds no OS threads between calls: [`Pool::par_map`] spawns
+/// scoped workers per invocation (a trial fan-out runs for seconds, so
+/// thread start-up is noise) and joins them before returning, which keeps
+/// the crate `forbid(unsafe_code)` and borrow-friendly — the mapped
+/// closure may borrow locals.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    threads: usize,
+    chunk: Option<usize>,
+}
+
+impl Pool {
+    /// A pool running `threads` workers (`0` and `1` both mean serial).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            chunk: None,
+        }
+    }
+
+    /// A pool sized from [`THREADS_ENV`], falling back to
+    /// [`std::thread::available_parallelism`].
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Self::new(threads)
+    }
+
+    /// Overrides the scheduling chunk size (indices claimed per grab).
+    /// Defaults to a size that gives every worker ≈8 grabs. Results are
+    /// identical for every chunk size; only load balance changes.
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = Some(chunk.max(1));
+        self
+    }
+
+    /// The number of workers this pool runs.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `0..n` in parallel, preserving input order: the
+    /// result equals `(0..n).map(f).collect()` bit-for-bit for pure `f`.
+    pub fn par_map<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let chunk = self
+            .chunk
+            .unwrap_or_else(|| (n / (workers * 8)).max(1))
+            .max(1);
+        let next = AtomicUsize::new(0);
+        let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            for i in start..(start + chunk).min(n) {
+                                local.push((i, f(i)));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => parts.push(part),
+                    Err(e) => {
+                        if panic.is_none() {
+                            panic = Some(e);
+                        }
+                    }
+                }
+            }
+        });
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+        // Order-preserving merge: each index was produced exactly once.
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in parts.into_iter().flatten() {
+            debug_assert!(out[i].is_none(), "index {i} produced twice");
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|o| o.expect("par_map: missing result slot"))
+            .collect()
+    }
+
+    /// Maps `f` over a slice in parallel, preserving order — convenience
+    /// wrapper over [`Pool::par_map`].
+    pub fn par_map_slice<'a, T, R, F>(&self, items: &'a [T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        self.par_map(items.len(), |i| f(&items[i]))
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let pool = Pool::new(4);
+        let got = pool.par_map(103, |i| i * i + 1);
+        let want: Vec<usize> = (0..103).map(|i| i * i + 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_single_item_work() {
+        let pool = Pool::new(8);
+        assert_eq!(pool.par_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.par_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn serial_pool_never_spawns() {
+        let pool = Pool::new(1);
+        let tid = std::thread::current().id();
+        let ids = pool.par_map(5, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&t| t == tid));
+    }
+
+    #[test]
+    fn slice_variant_borrows_items() {
+        let pool = Pool::new(3);
+        let items = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        assert_eq!(pool.par_map_slice(&items, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "task 13 failed")]
+    fn panics_propagate_to_caller() {
+        let pool = Pool::new(4).with_chunk(3);
+        pool.par_map(40, |i| {
+            if i == 13 {
+                panic!("task 13 failed");
+            }
+            i
+        });
+    }
+}
