@@ -46,6 +46,18 @@ fn fft_960(c: &mut Criterion) {
     c.bench_function("fft_convolve_0.5s_render", |b| {
         b.iter(|| black_box(aqua_dsp::fir::fft_convolve(black_box(&tx), black_box(&fir))))
     });
+
+    // Same convolution through the planned path: the filter spectrum is
+    // cached and all scratch is reused, leaving one forward + one inverse
+    // transform per call — the renderer/front-end steady state.
+    let planned = aqua_dsp::fir::PlannedConvolver::new(fir.clone());
+    let mut out = Vec::new();
+    c.bench_function("planned_convolve_0.5s_render", |b| {
+        b.iter(|| {
+            planned.convolve_into(black_box(&tx), &mut out);
+            black_box(out.len())
+        })
+    });
 }
 
 fn preamble_pipeline(c: &mut Criterion) {
@@ -155,6 +167,19 @@ fn decoder_pipeline(c: &mut Criterion) {
         .collect();
     c.bench_function("viterbi_24_coded_bits", |b| {
         b.iter(|| black_box(decode_soft(black_box(&soft), Rate::TwoThirds)))
+    });
+
+    // Packet-scale decode (the fig14 64-bit payload at rate 2/3) through
+    // the flat trellis: static branch table, swapped metric buffers,
+    // one-word-per-step packed survivors.
+    let payload: Vec<u8> = (0..64).map(|i| (i % 2) as u8).collect();
+    let coded = conv_encode(&payload, Rate::TwoThirds);
+    let soft_packet: Vec<f64> = coded
+        .iter()
+        .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+        .collect();
+    c.bench_function("viterbi_decode_packet", |b| {
+        b.iter(|| black_box(decode_soft(black_box(&soft_packet), Rate::TwoThirds)))
     });
 }
 

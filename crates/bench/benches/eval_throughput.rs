@@ -10,6 +10,7 @@ use std::hint::black_box;
 
 use aqua_channel::environments::{Environment, Site};
 use aqua_channel::geometry::Pos;
+use aqua_channel::link::{Link, LinkConfig};
 use aqua_eval::runner::{packet_series, packet_series_serial};
 use aquapp::trial::TrialConfig;
 
@@ -33,9 +34,27 @@ fn trials_per_second(c: &mut Criterion) {
     });
 }
 
+fn link_transmit_cached(c: &mut Criterion) {
+    // Steady-state cost of one 0.25 s static render on a warm link: the
+    // fused device ∗ multipath FIR and its padded spectra are cached, so
+    // each call is one planned convolution plus the noise synthesis —
+    // what every packet after the first pays per transmission.
+    let mut link = Link::new(LinkConfig::s9_pair(
+        Environment::preset(Site::Bridge),
+        Pos::new(0.0, 0.0, 1.0),
+        Pos::new(5.0, 0.0, 1.0),
+        42,
+    ));
+    let tx: Vec<f64> = (0..12_000).map(|i| (i as f64 * 0.29).sin()).collect();
+    link.transmit(&tx, 0.0); // warm the FIR memo and spectra
+    c.bench_function("link_transmit_cached", |b| {
+        b.iter(|| black_box(link.transmit(black_box(&tx), 0.0)))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = trials_per_second
+    targets = trials_per_second, link_transmit_cached
 }
 criterion_main!(benches);

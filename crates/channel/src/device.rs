@@ -136,20 +136,13 @@ impl Device {
     /// small (≈1 dB) manufacturing ripple — two phones of the same model
     /// sound nearly alike, different models differ strongly (Fig. 3a).
     pub fn tx_response_db(&self, freq_hz: f64) -> f64 {
-        self.model.source_level_db()
-            + ripple_db(self.model.seed() ^ 0xA5A5, freq_hz, 9.0, 3)
-            + notches_db(self.model.seed() ^ 0x11, freq_hz, 2)
-            + ripple_db(0x5EED ^ self.unit_seed, freq_hz, 1.0, 2)
-            + shared_rolloff_db(freq_hz)
+        model_tx_db(self.model, freq_hz) + ripple_db(0x5EED ^ self.unit_seed, freq_hz, 1.0, 2)
     }
 
     /// Microphone (receive) response in dB at `freq_hz` (flatter than the
     /// speaker, milder ripple).
     pub fn rx_response_db(&self, freq_hz: f64) -> f64 {
-        ripple_db(self.model.seed() ^ 0xC3C3, freq_hz, 4.0, 2)
-            + notches_db(self.model.seed() ^ 0x22, freq_hz, 1)
-            + ripple_db(0x31C ^ self.unit_seed, freq_hz, 0.8, 2)
-            + shared_rolloff_db(freq_hz) * 0.5
+        model_rx_db(self.model, freq_hz) + ripple_db(0x31C ^ self.unit_seed, freq_hz, 0.8, 2)
     }
 
     /// Case transmission response in dB at `freq_hz` (applies on both
@@ -189,6 +182,83 @@ impl Device {
             + rx.rx_response_db(freq_hz)
             + rx.case_response_db(freq_hz)
     }
+
+    /// [`link_response_db`](Device::link_response_db) evaluated over a
+    /// whole frequency grid — the FIR-design hot path (a 2049-bin sweep
+    /// per link construction, two links per packet trial).
+    ///
+    /// The model-level response (model ripple, model notches, roll-offs)
+    /// is identical for every unit of a model, so it is computed once per
+    /// (model, direction, grid) per thread and cached; only the per-unit
+    /// manufacturing ripple and case response are evaluated per call.
+    /// Values match the pointwise form up to summation-order rounding
+    /// (≤ 1 ulp of dB), which is far below the synthetic model's fidelity.
+    pub fn link_response_db_grid(tx: &Device, rx: &Device, freqs: &[f64]) -> Vec<f64> {
+        let tx_model = model_grid(tx.model, true, freqs);
+        let rx_model = model_grid(rx.model, false, freqs);
+        freqs
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| {
+                tx_model[i]
+                    + ripple_db(0x5EED ^ tx.unit_seed, f, 1.0, 2)
+                    + tx.case_response_db(f)
+                    + rx_model[i]
+                    + ripple_db(0x31C ^ rx.unit_seed, f, 0.8, 2)
+                    + rx.case_response_db(f)
+            })
+            .collect()
+    }
+}
+
+/// Model-level (unit-independent) part of the speaker response.
+fn model_tx_db(model: DeviceModel, freq_hz: f64) -> f64 {
+    model.source_level_db()
+        + ripple_db(model.seed() ^ 0xA5A5, freq_hz, 9.0, 3)
+        + notches_db(model.seed() ^ 0x11, freq_hz, 2)
+        + shared_rolloff_db(freq_hz)
+}
+
+/// Model-level (unit-independent) part of the microphone response.
+fn model_rx_db(model: DeviceModel, freq_hz: f64) -> f64 {
+    ripple_db(model.seed() ^ 0xC3C3, freq_hz, 4.0, 2)
+        + notches_db(model.seed() ^ 0x22, freq_hz, 1)
+        + shared_rolloff_db(freq_hz) * 0.5
+}
+
+/// Cached model-level response over a frequency grid, keyed by the grid's
+/// exact bit content (FNV over the raw `f64` bits — no aliasing).
+fn model_grid(model: DeviceModel, is_tx: bool, freqs: &[f64]) -> std::rc::Rc<[f64]> {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::rc::Rc;
+    thread_local! {
+        #[allow(clippy::type_complexity)]
+        static CACHE: RefCell<HashMap<(DeviceModel, bool, u64, usize), Rc<[f64]>>> =
+            RefCell::new(HashMap::new());
+    }
+    let mut fp = 0xcbf2_9ce4_8422_2325u64;
+    for &f in freqs {
+        fp = (fp ^ f.to_bits()).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    CACHE.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry((model, is_tx, fp, freqs.len()))
+            .or_insert_with(|| {
+                freqs
+                    .iter()
+                    .map(|&f| {
+                        if is_tx {
+                            model_tx_db(model, f)
+                        } else {
+                            model_rx_db(model, f)
+                        }
+                    })
+                    .collect()
+            })
+            .clone()
+    })
 }
 
 /// Smooth pseudo-random ripple in dB: a sum of `octaves+1` cosines in

@@ -105,11 +105,36 @@ pub fn eigenrays(
     min_rel_amplitude: f64,
     max_bounce_order: usize,
 ) -> Vec<Eigenray> {
+    let mut rays = Vec::new();
+    eigenrays_into(
+        tx,
+        rx,
+        bounds,
+        nominal_freq_hz,
+        min_rel_amplitude,
+        max_bounce_order,
+        &mut rays,
+    );
+    rays
+}
+
+/// [`eigenrays`] into a caller-owned buffer (cleared and refilled), so
+/// block-stepped renderers can re-enumerate paths without reallocating.
+#[allow(clippy::too_many_arguments)]
+pub fn eigenrays_into(
+    tx: &Pos,
+    rx: &Pos,
+    bounds: &Boundaries,
+    nominal_freq_hz: f64,
+    min_rel_amplitude: f64,
+    max_bounce_order: usize,
+    rays: &mut Vec<Eigenray>,
+) {
     let r = tx.horizontal_range(rx).max(1e-6);
     let (zt, zr) = (tx.depth, rx.depth);
     let d = bounds.water_depth_m;
 
-    let mut rays = Vec::new();
+    rays.clear();
     let mut push = |vertical: f64, s: usize, b: usize, family: u8, order: usize| {
         let length = (r * r + vertical * vertical).sqrt().max(1e-3);
         let boundary_gain =
@@ -151,7 +176,6 @@ pub fn eigenrays(
     let peak = rays.iter().map(|p| p.amplitude.abs()).fold(0.0, f64::max);
     rays.retain(|p| p.amplitude.abs() >= peak * min_rel_amplitude);
     rays.sort_by(|a, b| a.length_m.partial_cmp(&b.length_m).unwrap());
-    rays
 }
 
 /// Delay spread of a set of eigenrays in seconds (max − min delay).

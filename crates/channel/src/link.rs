@@ -11,10 +11,10 @@
 
 use crate::device::Device;
 use crate::environments::Environment;
-use crate::geometry::{eigenrays, Eigenray, Pos};
+use crate::geometry::{eigenrays_into, Eigenray, Pos};
 use crate::mobility::Trajectory;
 use crate::noise::NoiseGenerator;
-use aqua_dsp::fir::fft_convolve;
+use aqua_dsp::fir::PlannedConvolver;
 use aqua_dsp::resample::SincInterpolator;
 
 /// Default sample rate of the modem and simulator (48 kHz, §2.3.1).
@@ -74,14 +74,31 @@ impl LinkConfig {
     }
 }
 
+/// Bit-exact fingerprint of the geometry a cached static multipath FIR
+/// was built for: both endpoint positions plus the two directivity gains
+/// (everything `render_static`'s FIR depends on besides the link-constant
+/// environment and seed), as raw `f64` bits. Exact-bit keying can never
+/// alias two different geometries onto one cached response.
+type StaticFirKey = [u64; 8];
+
 /// A renderable directed link.
 pub struct Link {
     cfg: LinkConfig,
     /// Composite device/case response as a linear-phase FIR (speaker + tx
-    /// case + rx case + microphone). Group delay is compensated at render.
-    device_fir: Vec<f64>,
+    /// case + rx case + microphone), held in a planned convolver so its
+    /// padded spectra are computed once per transmit length. Group delay
+    /// is compensated at render. Applied stand-alone on the moving path;
+    /// the static path folds it into the fused FIR below.
+    device_conv: PlannedConvolver,
     noise_gen: NoiseGenerator,
     interp: SincInterpolator,
+    /// Memoized static-geometry renderer: the fused device ∗ multipath
+    /// FIR (one planned convolution applies both responses — half the
+    /// transform work of chaining them) plus the multipath FIR's length
+    /// for the output trim. Static trajectories are time-invariant, so
+    /// every `transmit` after the first reuses it instead of re-deriving
+    /// identical eigenray FIRs; the key guards against geometry drift.
+    static_fir: Option<(StaticFirKey, PlannedConvolver, usize)>,
 }
 
 impl Link {
@@ -91,9 +108,10 @@ impl Link {
         let noise_gen = NoiseGenerator::new(cfg.env.noise.clone(), cfg.fs, cfg.seed ^ 0x01AE);
         Self {
             cfg,
-            device_fir,
+            device_conv: PlannedConvolver::new(device_fir),
             noise_gen,
             interp: SincInterpolator::default(),
+            static_fir: None,
         }
     }
 
@@ -122,17 +140,20 @@ impl Link {
         if tx.is_empty() {
             return Vec::new();
         }
-        // Device/case response (LTI, applied once). The linear-phase FIR
-        // delays by (taps-1)/2; trim to keep timing physical.
-        let dev_delay = (self.device_fir.len() - 1) / 2;
-        let filtered_full = fft_convolve(tx, &self.device_fir);
-        let x: Vec<f64> = filtered_full[dev_delay..dev_delay + tx.len()].to_vec();
-
         let static_link = matches!(self.cfg.tx_traj, Trajectory::Static { .. })
             && matches!(self.cfg.rx_traj, Trajectory::Static { .. });
         let mut y = if static_link {
-            self.render_static(&x, t0_s)
+            // Device response is fused into the static multipath FIR —
+            // one convolution applies both.
+            self.render_static(tx, t0_s)
         } else {
+            // Device/case response (LTI, applied once, cached filter
+            // spectrum). The linear-phase FIR delays by (taps-1)/2; trim
+            // in place to keep timing physical.
+            let dev_delay = (self.device_conv.taps().len() - 1) / 2;
+            let mut x = self.device_conv.convolve(tx);
+            x.copy_within(dev_delay..dev_delay + tx.len(), 0);
+            x.truncate(tx.len());
             self.render_moving(&x, t0_s)
         };
 
@@ -229,14 +250,24 @@ impl Link {
     /// images plus one echo per discrete far reflector (walls, pillars,
     /// boats — delays typically beyond the CP).
     fn rays_at(&self, t_s: f64) -> Vec<Eigenray> {
+        let mut rays = Vec::new();
+        self.rays_at_into(t_s, &mut rays);
+        rays
+    }
+
+    /// [`rays_at`](Link::rays_at) into a caller-owned buffer, so the
+    /// block-stepped moving render re-enumerates paths without
+    /// reallocating each block.
+    fn rays_at_into(&self, t_s: f64, rays: &mut Vec<Eigenray>) {
         let (txp, rxp) = self.endpoint_positions(t_s);
-        let mut rays = eigenrays(
+        eigenrays_into(
             &txp,
             &rxp,
             &self.cfg.env.boundaries,
             NOMINAL_FREQ_HZ,
             MIN_REL_AMPLITUDE,
             MAX_BOUNCE_ORDER,
+            rays,
         );
         for (idx, r) in self.cfg.env.reflectors.iter().enumerate() {
             let length = txp.distance(&r.pos) + r.pos.distance(&rxp);
@@ -282,7 +313,6 @@ impl Link {
                 });
             }
         }
-        rays
     }
 
     /// Speaker and microphone positions at time `t_s` (device reference
@@ -316,52 +346,81 @@ impl Link {
         )
     }
 
-    /// Static render: multipath FIR + FFT convolution.
+    /// Static render: fused device ∗ multipath FIR + one FFT convolution.
+    /// The multipath FIR depends only on geometry (time-invariant for
+    /// static trajectories), so the fused filter is memoized under a
+    /// bit-exact geometry key and its padded spectra are cached by the
+    /// planned convolver — repeated transmits skip the eigenray
+    /// re-derivation, both filters' forward transforms, and a whole
+    /// forward/inverse transform pair per call relative to chaining the
+    /// device and multipath convolutions (linear convolution is
+    /// associative; the fused output matches the chained one to FFT
+    /// rounding).
     fn render_static(&mut self, x: &[f64], t0_s: f64) -> Vec<f64> {
-        let rays = self.rays_at(t0_s);
+        let (txp, rxp) = self.endpoint_positions(t0_s);
         let (txd, rxd) = self.directivity_at(t0_s);
-        let gain = 10f64.powf((txd + rxd) / 20.0);
-        let fs = self.cfg.fs;
-        let c = self.cfg.env.sound_speed;
-        let max_delay = rays.iter().map(|r| r.delay_s(c)).fold(0.0, f64::max);
-        let fir_len = (max_delay * fs).ceil() as usize + 2 * TAP_HALF_WIDTH + 2;
-        let mut fir = vec![0.0; fir_len];
-        for ray in &rays {
-            let pos = ray.delay_s(c) * fs + TAP_HALF_WIDTH as f64;
-            add_fractional_tap(&mut fir, pos, ray.amplitude * gain);
+        let key: StaticFirKey = [
+            txp.x.to_bits(),
+            txp.y.to_bits(),
+            txp.depth.to_bits(),
+            rxp.x.to_bits(),
+            rxp.y.to_bits(),
+            rxp.depth.to_bits(),
+            txd.to_bits(),
+            rxd.to_bits(),
+        ];
+        if self.static_fir.as_ref().map(|(k, _, _)| *k) != Some(key) {
+            let rays = self.rays_at(t0_s);
+            let gain = 10f64.powf((txd + rxd) / 20.0);
+            let fs = self.cfg.fs;
+            let c = self.cfg.env.sound_speed;
+            let max_delay = rays.iter().map(|r| r.delay_s(c)).fold(0.0, f64::max);
+            let fir_len = (max_delay * fs).ceil() as usize + 2 * TAP_HALF_WIDTH + 2;
+            let mut fir = vec![0.0; fir_len];
+            for ray in &rays {
+                let pos = ray.delay_s(c) * fs + TAP_HALF_WIDTH as f64;
+                add_fractional_tap(&mut fir, pos, ray.amplitude * gain);
+            }
+            let fused = aqua_dsp::fir::fft_convolve(self.device_conv.taps(), &fir);
+            self.static_fir = Some((key, PlannedConvolver::new(fused), fir_len));
         }
-        let full = fft_convolve(x, &fir);
-        // compensate the kernel's TAP_HALF_WIDTH offset
-        let out_len = x.len() + fir_len - TAP_HALF_WIDTH;
-        full[TAP_HALF_WIDTH..]
-            .iter()
-            .take(out_len)
-            .cloned()
-            .collect()
+        let (_, conv, fir_len) = self.static_fir.as_ref().unwrap();
+        let mut full = conv.convolve(x);
+        // compensate the device FIR's group delay and the fractional-tap
+        // kernel's TAP_HALF_WIDTH offset, in place
+        let dev_delay = (self.device_conv.taps().len() - 1) / 2;
+        let skip = dev_delay + TAP_HALF_WIDTH;
+        let out_len = x.len() + fir_len - TAP_HALF_WIDTH - 1;
+        full.copy_within(skip..skip + out_len, 0);
+        full.truncate(out_len);
+        full
     }
 
-    /// Moving render: block-interpolated per-path fractional delays.
+    /// Moving render: block-interpolated per-path fractional delays. The
+    /// two eigenray buffers are reused across blocks (ping-ponged by swap)
+    /// instead of reallocating per block.
     fn render_moving(&mut self, x: &[f64], t0_s: f64) -> Vec<f64> {
         let fs = self.cfg.fs;
         let c = self.cfg.env.sound_speed;
         // Bound output length by worst-case delay across the transmission.
-        let end_rays = self.rays_at(t0_s + x.len() as f64 / fs);
-        let start_rays = self.rays_at(t0_s);
-        let max_delay = start_rays
+        let mut rays_a = Vec::new();
+        let mut rays_b = Vec::new();
+        self.rays_at_into(t0_s + x.len() as f64 / fs, &mut rays_b); // end
+        self.rays_at_into(t0_s, &mut rays_a); // start
+        let max_delay = rays_a
             .iter()
-            .chain(end_rays.iter())
+            .chain(rays_b.iter())
             .map(|r| r.delay_s(c))
             .fold(0.0, f64::max);
         let out_len = x.len() + (max_delay * fs).ceil() as usize + 2 * TAP_HALF_WIDTH + 2;
         let mut y = vec![0.0; out_len];
 
         let mut block_start = 0usize;
-        let mut rays_a = self.rays_at(t0_s);
         let mut dir_a = self.directivity_at(t0_s);
         while block_start < out_len {
             let block_len = MOTION_BLOCK.min(out_len - block_start);
             let t_end = t0_s + (block_start + block_len) as f64 / fs;
-            let rays_b = self.rays_at(t_end);
+            self.rays_at_into(t_end, &mut rays_b);
             let dir_b = self.directivity_at(t_end);
             let gain_a = 10f64.powf((dir_a.0 + dir_a.1) / 20.0);
             let gain_b = 10f64.powf((dir_b.0 + dir_b.1) / 20.0);
@@ -388,7 +447,7 @@ impl Link {
                     }
                 }
             }
-            rays_a = rays_b;
+            std::mem::swap(&mut rays_a, &mut rays_b);
             dir_a = dir_b;
             block_start += block_len;
         }
@@ -452,12 +511,13 @@ pub fn design_device_fir(tx: &Device, rx: &Device, fs: f64, taps: usize) -> Vec<
     let plan = real_planner(n);
     // The sampled magnitude response is real and even — exactly a
     // Hermitian half-spectrum, so the mirror half is never materialized.
-    let half_spec: Vec<Complex> = (0..=n / 2)
-        .map(|k| {
-            let f = k as f64 * fs / n as f64;
-            let db = Device::link_response_db(tx, rx, f.max(10.0));
-            Complex::real(10f64.powf(db / 20.0))
-        })
+    // The grid sweep caches the model-level response per thread.
+    let freqs: Vec<f64> = (0..=n / 2)
+        .map(|k| (k as f64 * fs / n as f64).max(10.0))
+        .collect();
+    let half_spec: Vec<Complex> = Device::link_response_db_grid(tx, rx, &freqs)
+        .into_iter()
+        .map(|db| Complex::real(10f64.powf(db / 20.0)))
         .collect();
     let impulse = plan.inverse_half(&half_spec);
     // center the impulse response and window it

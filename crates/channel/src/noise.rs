@@ -8,11 +8,11 @@
 //! defeats plain cross-correlation detection, motivating the paper's
 //! sliding-correlation stage).
 
-use aqua_dsp::complex::Complex;
-use aqua_dsp::fft::planner;
+use aqua_dsp::fft::real_planner;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr_like::normal;
+use std::collections::HashMap;
 
 /// Tiny Box–Muller helper so we don't pull in `rand_distr`.
 mod rand_distr_like {
@@ -118,6 +118,12 @@ pub struct NoiseGenerator {
     mic_color_seed: u64,
     rng: StdRng,
     fs: f64,
+    /// Memoized per-bin spectral gains keyed by FFT length. The gains are
+    /// a pure function of (profile, fs, mic seed, length), so computing
+    /// them once per length is bit-identical to the old per-call loop —
+    /// which also evaluated each folded frequency twice (the shaping is
+    /// Hermitian-symmetric) and dominated `generate`'s cost.
+    gains: HashMap<usize, Vec<f64>>,
 }
 
 impl NoiseGenerator {
@@ -128,33 +134,68 @@ impl NoiseGenerator {
             mic_color_seed: seed ^ 0xC0FFEE,
             rng: StdRng::seed_from_u64(seed),
             fs,
+            gains: HashMap::new(),
         }
+    }
+
+    /// Per-folded-bin amplitude gains for an `fft_len`-point block:
+    /// `gains[j]` applies to bins `j` and `fft_len − j`.
+    fn gains_for(&mut self, fft_len: usize) -> &[f64] {
+        if !self.gains.contains_key(&fft_len) {
+            let mic_ripple_phase = (self.mic_color_seed % 628) as f64 / 100.0;
+            let g: Vec<f64> = (0..=fft_len / 2)
+                .map(|j| {
+                    let kf = j as f64 * self.fs / fft_len as f64;
+                    let mut db = self.profile.level_db(kf);
+                    // device-mic coloration: gentle ±2 dB ripple
+                    db += 2.0 * (kf / 700.0 + mic_ripple_phase).sin();
+                    10f64.powf(db / 20.0)
+                })
+                .collect();
+            self.gains.insert(fft_len, g);
+        }
+        &self.gains[&fft_len]
     }
 
     /// Generates `n` samples of shaped noise. Blocks are independent, which
     /// is fine for noise (no phase continuity requirement).
+    ///
+    /// Runs on the half-size real-FFT path: the white block is real and
+    /// the per-bin gains are Hermitian-symmetric, so shaping touches only
+    /// `fft_len/2 + 1` bins and the inverse is real by construction —
+    /// about half the transform work of the complex path it replaced.
+    /// Together with the pairwise Box–Muller fill below (which consumes
+    /// half the uniform draws of the old one-deviate-per-pair loop),
+    /// this changed the per-seed noise *realization* in PR 4 — same
+    /// distribution and spectrum, different samples; determinism per
+    /// seed is unchanged (see DESIGN.md §9, EXPERIMENTS.md re-measured).
     pub fn generate(&mut self, n: usize) -> Vec<f64> {
         if n == 0 {
             return Vec::new();
         }
         let fft_len = n.next_power_of_two().max(256);
         // White Gaussian in time domain, then shape in frequency domain.
-        let mut buf: Vec<Complex> = (0..fft_len)
-            .map(|_| Complex::new(normal(&mut self.rng), 0.0))
-            .collect();
-        let plan = planner(fft_len);
-        plan.forward(&mut buf);
-        let mic_ripple_phase = (self.mic_color_seed % 628) as f64 / 100.0;
-        for (k, c) in buf.iter_mut().enumerate() {
-            // Hermitian-symmetric shaping: use the folded frequency.
-            let kf = k.min(fft_len - k) as f64 * self.fs / fft_len as f64;
-            let mut db = self.profile.level_db(kf);
-            // device-mic coloration: gentle ±2 dB ripple
-            db += 2.0 * (kf / 700.0 + mic_ripple_phase).sin();
-            *c = c.scale(10f64.powf(db / 20.0));
+        // Pairwise Box–Muller: each (u1, u2) draw yields both the cosine
+        // and sine deviates (independent N(0,1) by construction), halving
+        // the log/sqrt/trig cost of filling the block. `fft_len` is a
+        // power of two, so the pairs tile it exactly.
+        let mut white = Vec::with_capacity(fft_len);
+        while white.len() < fft_len {
+            let u1: f64 = self.rng.gen_range(1e-12..1.0);
+            let u2: f64 = self.rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+            white.push(r * c);
+            white.push(r * s);
         }
-        plan.inverse(&mut buf);
-        let mut out: Vec<f64> = buf.into_iter().take(n).map(|c| c.re).collect();
+        let plan = real_planner(fft_len);
+        let mut spec = plan.forward_half(&white);
+        let gains = self.gains_for(fft_len);
+        for (c, &g) in spec.iter_mut().zip(gains.iter()) {
+            *c = c.scale(g);
+        }
+        let mut out = plan.inverse_half(&spec);
+        out.truncate(n);
         // Normalize block RMS to the profile's target.
         let rms = (out.iter().map(|v| v * v).sum::<f64>() / n as f64).sqrt();
         if rms > 1e-30 {

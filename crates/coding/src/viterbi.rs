@@ -7,23 +7,32 @@
 //! encoder's untailed 16→24-bit packets.
 
 use crate::conv::{depuncture, Rate, CONSTRAINT_LENGTH, GENERATORS};
+use std::sync::OnceLock;
 
 const NUM_STATES: usize = 1 << (CONSTRAINT_LENGTH - 1); // 64
 
-/// Branch outputs precomputed for every (state, input) pair.
-fn branch_table() -> Vec<[u8; 2]> {
-    let mut table = Vec::with_capacity(NUM_STATES * 2);
-    for state in 0..NUM_STATES as u32 {
-        for bit in 0..2u8 {
-            let reg = ((state << 1) | bit as u32) & 0x7F;
-            let mut out = [0u8; 2];
-            for (i, &g) in GENERATORS.iter().enumerate() {
-                out[i] = ((reg & g).count_ones() & 1) as u8;
+// The packed survivor words below hold one bit per state.
+const _: () = assert!(NUM_STATES <= 64);
+
+/// Static branch table, computed once per process: entry `state*2 + bit`
+/// holds the two encoder output bits for that transition packed as
+/// `o0·2 + o1` — an index into the four per-step branch gains.
+fn branch_table() -> &'static [u8; NUM_STATES * 2] {
+    static TABLE: OnceLock<[u8; NUM_STATES * 2]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u8; NUM_STATES * 2];
+        for state in 0..NUM_STATES as u32 {
+            for bit in 0..2u32 {
+                let reg = ((state << 1) | bit) & 0x7F;
+                let mut packed = 0u8;
+                for &g in GENERATORS.iter() {
+                    packed = (packed << 1) | ((reg & g).count_ones() & 1) as u8;
+                }
+                table[(state as usize) * 2 + bit as usize] = packed;
             }
-            table.push(out);
         }
-    }
-    table
+        table
+    })
 }
 
 /// Decodes hard-decision coded bits (0/1) at the given rate, returning the
@@ -86,6 +95,15 @@ fn decode_soft_from(coded: &[f64], rate: Rate, start_state: Option<usize>) -> Ve
 
 /// Runs the Viterbi trellis over a depunctured stream (pairs of optional
 /// soft values), returning the decided input bits.
+///
+/// Flat-trellis implementation: the branch table is a process-wide static,
+/// the add-compare-select step ping-pongs between two stack-resident
+/// metric buffers, and survivors pack into **one `u64` word per step** —
+/// the decided input bit needs no storage at all (it is the new state's
+/// LSB), so only the winning predecessor's dropped MSB is kept, one bit
+/// per state. No per-step allocation remains; decisions are identical to
+/// the original Vec-per-step trellis (pinned by the `reference_decoder`
+/// equivalence tests).
 fn run_trellis(stream: &[Option<f64>], start_state: Option<usize>) -> Vec<u8> {
     let steps = stream.len() / 2;
     if steps == 0 {
@@ -94,46 +112,50 @@ fn run_trellis(stream: &[Option<f64>], start_state: Option<usize>) -> Vec<u8> {
     let table = branch_table();
 
     const NEG_INF: f64 = f64::NEG_INFINITY;
-    let mut metric = vec![NEG_INF; NUM_STATES];
+    let mut metric = [NEG_INF; NUM_STATES];
+    let mut next = [NEG_INF; NUM_STATES];
     match start_state {
         Some(s) => metric[s] = 0.0,
-        None => metric.iter_mut().for_each(|m| *m = 0.0),
+        None => metric.fill(0.0),
     }
-    // survivors[t][state] = input bit and predecessor that won
-    let mut survivors: Vec<Vec<u8>> = Vec::with_capacity(steps);
+    // survivors[t] bit `s` = dropped MSB of the predecessor that won
+    // state `s` at step `t`.
+    let mut survivors = vec![0u64; steps];
 
-    for t in 0..steps {
+    for (t, surv_word) in survivors.iter_mut().enumerate() {
+        // The four possible branch gains this step, one per output pair
+        // `o0·2 + o1`, accumulated in the same order as the scalar loop
+        // (punctured observations contribute nothing).
         let obs = [stream[2 * t], stream[2 * t + 1]];
-        let mut next = vec![NEG_INF; NUM_STATES];
-        let mut surv = vec![0u8; NUM_STATES];
+        let mut gains = [0.0f64; 4];
+        for (packed, g) in gains.iter_mut().enumerate() {
+            if let Some(s) = obs[0] {
+                *g += if packed >> 1 == 0 { s } else { -s };
+            }
+            if let Some(s) = obs[1] {
+                *g += if packed & 1 == 0 { s } else { -s };
+            }
+        }
+        next.fill(NEG_INF);
+        let mut surv = 0u64;
         for state in 0..NUM_STATES {
             let m = metric[state];
             if m == NEG_INF {
                 continue;
             }
+            let msb = ((state >> (CONSTRAINT_LENGTH - 2)) & 1) as u64;
             for bit in 0..2usize {
-                let outputs = table[state * 2 + bit];
-                // correlation metric: +soft if output bit 0, -soft if 1
-                let mut gain = 0.0;
-                for (o, ob) in outputs.iter().zip(&obs) {
-                    if let Some(s) = ob {
-                        gain += if *o == 0 { *s } else { -*s };
-                    }
-                }
+                let gain = gains[table[state * 2 + bit] as usize];
                 let ns = ((state << 1) | bit) & (NUM_STATES - 1);
                 let cand = m + gain;
                 if cand > next[ns] {
                     next[ns] = cand;
-                    // pack predecessor's dropped MSB decision implicitly:
-                    // predecessor = (ns >> 1) | (old MSB << 5); we store the
-                    // input bit; predecessor recoverable from ns and stored
-                    // old-state MSB.
-                    surv[ns] = (bit as u8) | (((state >> (CONSTRAINT_LENGTH - 2)) as u8) << 1);
+                    surv = (surv & !(1u64 << ns)) | (msb << ns);
                 }
             }
         }
-        metric = next;
-        survivors.push(surv);
+        std::mem::swap(&mut metric, &mut next);
+        *surv_word = surv;
     }
 
     // Best end state (truncated trellis).
@@ -144,13 +166,12 @@ fn run_trellis(stream: &[Option<f64>], start_state: Option<usize>) -> Vec<u8> {
         .map(|(i, _)| i)
         .unwrap_or(0);
 
-    // Traceback.
+    // Traceback: the decided input bit is the state's LSB; the stored MSB
+    // reconstructs the predecessor.
     let mut bits = vec![0u8; steps];
     for t in (0..steps).rev() {
-        let s = survivors[t][state];
-        let bit = s & 1;
-        let old_msb = (s >> 1) & 1;
-        bits[t] = bit;
+        let old_msb = (survivors[t] >> state) & 1;
+        bits[t] = (state & 1) as u8;
         state = (state >> 1) | ((old_msb as usize) << (CONSTRAINT_LENGTH - 2));
     }
     bits

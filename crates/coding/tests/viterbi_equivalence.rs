@@ -1,0 +1,218 @@
+//! Pins the flat-trellis Viterbi (static branch table, swapped metric
+//! buffers, packed one-word-per-step survivors) to the original
+//! Vec-per-step decoder, kept here verbatim as `reference`. Every decode —
+//! hard and soft, both rates, truncated and tailbiting, punctured streams
+//! with noise and erasure-like weak bits — must produce identical bits.
+
+use aqua_coding::conv::{
+    depuncture, encode, encode_tailbiting, Rate, CONSTRAINT_LENGTH, GENERATORS,
+};
+use aqua_coding::viterbi::{
+    decode_hard, decode_hard_tailbiting, decode_soft, decode_soft_tailbiting,
+};
+use proptest::prelude::*;
+
+/// The pre-flat-trellis decoder, copied unchanged from PR 3's
+/// `viterbi.rs` (allocating branch table, `Vec<Vec<u8>>` survivors).
+mod reference {
+    use super::*;
+
+    const NUM_STATES: usize = 1 << (CONSTRAINT_LENGTH - 1);
+
+    fn branch_table() -> Vec<[u8; 2]> {
+        let mut table = Vec::with_capacity(NUM_STATES * 2);
+        for state in 0..NUM_STATES as u32 {
+            for bit in 0..2u8 {
+                let reg = ((state << 1) | bit as u32) & 0x7F;
+                let mut out = [0u8; 2];
+                for (i, &g) in GENERATORS.iter().enumerate() {
+                    out[i] = ((reg & g).count_ones() & 1) as u8;
+                }
+                table.push(out);
+            }
+        }
+        table
+    }
+
+    fn run_trellis(stream: &[Option<f64>], start_state: Option<usize>) -> Vec<u8> {
+        let steps = stream.len() / 2;
+        if steps == 0 {
+            return Vec::new();
+        }
+        let table = branch_table();
+        const NEG_INF: f64 = f64::NEG_INFINITY;
+        let mut metric = vec![NEG_INF; NUM_STATES];
+        match start_state {
+            Some(s) => metric[s] = 0.0,
+            None => metric.iter_mut().for_each(|m| *m = 0.0),
+        }
+        let mut survivors: Vec<Vec<u8>> = Vec::with_capacity(steps);
+        for t in 0..steps {
+            let obs = [stream[2 * t], stream[2 * t + 1]];
+            let mut next = vec![NEG_INF; NUM_STATES];
+            let mut surv = vec![0u8; NUM_STATES];
+            for state in 0..NUM_STATES {
+                let m = metric[state];
+                if m == NEG_INF {
+                    continue;
+                }
+                for bit in 0..2usize {
+                    let outputs = table[state * 2 + bit];
+                    let mut gain = 0.0;
+                    for (o, ob) in outputs.iter().zip(&obs) {
+                        if let Some(s) = ob {
+                            gain += if *o == 0 { *s } else { -*s };
+                        }
+                    }
+                    let ns = ((state << 1) | bit) & (NUM_STATES - 1);
+                    let cand = m + gain;
+                    if cand > next[ns] {
+                        next[ns] = cand;
+                        surv[ns] = (bit as u8) | (((state >> (CONSTRAINT_LENGTH - 2)) as u8) << 1);
+                    }
+                }
+            }
+            metric = next;
+            survivors.push(surv);
+        }
+        let mut state = metric
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut bits = vec![0u8; steps];
+        for t in (0..steps).rev() {
+            let s = survivors[t][state];
+            let bit = s & 1;
+            let old_msb = (s >> 1) & 1;
+            bits[t] = bit;
+            state = (state >> 1) | ((old_msb as usize) << (CONSTRAINT_LENGTH - 2));
+        }
+        bits
+    }
+
+    pub fn decode_soft(coded: &[f64], rate: Rate) -> Vec<u8> {
+        let stream = depuncture(coded, rate);
+        if stream.is_empty() {
+            return Vec::new();
+        }
+        run_trellis(&stream, Some(0))
+    }
+
+    pub fn decode_soft_tailbiting(coded: &[f64], rate: Rate) -> Vec<u8> {
+        let stream = depuncture(coded, rate);
+        let steps = stream.len() / 2;
+        if steps == 0 {
+            return Vec::new();
+        }
+        let warm_steps = (steps / 2).min(steps);
+        let mut wrapped: Vec<Option<f64>> = Vec::with_capacity((steps + 2 * warm_steps) * 2);
+        wrapped.extend_from_slice(&stream[(steps - warm_steps) * 2..]);
+        wrapped.extend_from_slice(&stream);
+        wrapped.extend_from_slice(&stream[..warm_steps * 2]);
+        let bits = run_trellis(&wrapped, None);
+        bits[warm_steps..warm_steps + steps].to_vec()
+    }
+}
+
+fn soft_stream(len: usize, seed: u64) -> Vec<f64> {
+    // Noisy bipolar values with occasional weak/contradictory bits —
+    // exercises close metric races where tie-breaking order matters.
+    let mut s = seed | 1;
+    let mut rnd = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s as f64 / u64::MAX as f64
+    };
+    (0..len)
+        .map(|_| {
+            let sign = if rnd() > 0.5 { 1.0 } else { -1.0 };
+            let mag = rnd();
+            if mag < 0.08 {
+                0.0 // exactly ambiguous
+            } else {
+                sign * mag
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flat trellis ≡ reference on random soft streams, both rates.
+    #[test]
+    fn soft_decode_matches_reference(len in 0usize..200, seed in 0u64..10_000) {
+        for rate in [Rate::Half, Rate::TwoThirds] {
+            let coded = soft_stream(len, seed ^ (len as u64) << 16);
+            prop_assert_eq!(
+                decode_soft(&coded, rate),
+                reference::decode_soft(&coded, rate),
+                "rate {:?} len {}", rate, len
+            );
+        }
+    }
+
+    /// Flat trellis ≡ reference on random hard bit streams (including
+    /// streams that are not valid codewords), both rates.
+    #[test]
+    fn hard_decode_matches_reference(len in 0usize..200, seed in 0u64..10_000) {
+        let mut s = seed | 1;
+        let bits: Vec<u8> = (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s & 1) as u8
+            })
+            .collect();
+        let soft: Vec<f64> = bits.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        for rate in [Rate::Half, Rate::TwoThirds] {
+            prop_assert_eq!(
+                decode_hard(&bits, rate),
+                reference::decode_soft(&soft, rate),
+                "rate {:?} len {}", rate, len
+            );
+        }
+    }
+
+    /// Tailbiting decode ≡ reference (any-start trellis with wrap-around
+    /// warm-up), both rates.
+    #[test]
+    fn tailbiting_decode_matches_reference(len in 0usize..160, seed in 0u64..10_000) {
+        for rate in [Rate::Half, Rate::TwoThirds] {
+            let coded = soft_stream(len, seed.wrapping_mul(31) ^ len as u64);
+            prop_assert_eq!(
+                decode_soft_tailbiting(&coded, rate),
+                reference::decode_soft_tailbiting(&coded, rate),
+                "rate {:?} len {}", rate, len
+            );
+        }
+    }
+}
+
+/// Clean-codeword roundtrips still decode exactly through the flat
+/// trellis (sanity on top of the reference equivalence).
+#[test]
+fn clean_roundtrips_both_modes() {
+    let mut s = 0xA5u64;
+    for n in [16usize, 33, 64, 100] {
+        let data: Vec<u8> = (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s & 1) as u8
+            })
+            .collect();
+        for rate in [Rate::Half, Rate::TwoThirds] {
+            assert_eq!(decode_hard(&encode(&data, rate), rate), data);
+            assert_eq!(
+                decode_hard_tailbiting(&encode_tailbiting(&data, rate), rate),
+                data
+            );
+        }
+    }
+}

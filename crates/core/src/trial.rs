@@ -155,14 +155,82 @@ impl TrialResult {
 /// Silence prepended to transmissions so detection sees a noise-only lead.
 const LEAD_SAMPLES: usize = 2400;
 
+/// Fixed seed for the pre-dive noise-floor calibration recording.
+const CALIBRATION_SEED: u64 = 0xCA11_B007;
+
+/// Alice's pre-dive ambient calibration: per-bin noise floor measured
+/// from an 8-symbol recording of the site's ambient noise through the
+/// receiver front end (the same measurement carrier sense uses).
+///
+/// One calibration serves the whole dive, so it is a pure function of the
+/// site's noise profile (fixed seed, not the per-packet noise stream) and
+/// is cached per thread keyed on the profile — every trial of an
+/// environment sees the identical floor no matter which worker computes
+/// it first, preserving the engine's parallel ≡ serial contract.
+fn calibrated_noise_floor(
+    params: &aqua_phy::params::OfdmParams,
+    env: &Environment,
+) -> std::rc::Rc<Vec<f64>> {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::rc::Rc;
+    thread_local! {
+        static CACHE: RefCell<HashMap<Vec<u64>, Rc<Vec<f64>>>> = RefCell::new(HashMap::new());
+    }
+    // Exact-bit profile fingerprint (+ the numerology's bin layout —
+    // `noise_bin_power` reports the `num_bins` bins from `first_bin`, so
+    // both are part of what the floor measures).
+    let mut key: Vec<u64> = vec![
+        env.noise.rms.to_bits(),
+        params.n_fft as u64,
+        params.first_bin as u64,
+        params.num_bins as u64,
+        params.fs.to_bits(),
+    ];
+    for &(f, db) in &env.noise.anchors {
+        key.push(f.to_bits());
+        key.push(db.to_bits());
+    }
+    CACHE.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry(key)
+            .or_insert_with(|| {
+                let mut cal = aqua_channel::noise::NoiseGenerator::new(
+                    env.noise.clone(),
+                    SAMPLE_RATE,
+                    CALIBRATION_SEED,
+                );
+                let ambient = front_end(&cal.generate(8 * params.n_fft));
+                Rc::new(noise_bin_power(params, &ambient))
+            })
+            .clone()
+    })
+}
+
 /// Receiver front end: the paper's 128-order FIR bandpass around the
 /// 1–4 kHz communication band. Ambient noise is concentrated below 1 kHz
 /// (Fig. 4), so this buys ~12 dB of detection SNR.
-fn front_end(rx: &[f64]) -> Vec<f64> {
-    use aqua_dsp::fir::{design_bandpass, filter_same};
+///
+/// The filter is fixed, so each worker thread designs it once and keeps a
+/// [`aqua_dsp::fir::PlannedConvolver`] whose padded spectra persist
+/// across the four-plus applications per trial and across trials —
+/// bit-identical to designing and applying it fresh (the old per-call
+/// path). Public because the evaluation harness (`aqua-eval`) must run
+/// captures through the *same* front end the trial engine uses.
+pub fn front_end(rx: &[f64]) -> Vec<f64> {
+    use aqua_dsp::fir::{design_bandpass, PlannedConvolver};
     use aqua_dsp::window::Window;
-    let taps = design_bandpass(129, 850.0, 4150.0, SAMPLE_RATE, Window::Hamming);
-    filter_same(rx, &taps)
+    thread_local! {
+        static BANDPASS: PlannedConvolver = PlannedConvolver::new(design_bandpass(
+            129,
+            850.0,
+            4150.0,
+            SAMPLE_RATE,
+            Window::Hamming,
+        ));
+    }
+    BANDPASS.with(|bpf| bpf.filter_same(rx))
 }
 
 /// Runs one packet exchange. See module docs for the sequence.
@@ -247,13 +315,13 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
             // (the paper's measured processing time for estimation +
             // adaptation is 1-2 ms).
             let fb_tx = encode_feedback(&params, selected);
-            // Alice calibrated her ambient noise floor before the dive
-            // (the same measurement carrier sense uses); the feedback
-            // detector whitens by it.
-            let ambient = front_end(&backward.ambient(8 * params.n_fft));
-            let noise_psd = noise_bin_power(&params, &ambient);
+            // Alice calibrated her ambient noise floor before the dive —
+            // one recording per site, shared by every packet (see
+            // `calibrated_noise_floor`); the feedback detector whitens
+            // by it.
+            let noise_psd = calibrated_noise_floor(&params, &cfg.env);
             let fb_rx = front_end(&backward.transmit(&fb_tx, header_end_s + 0.002));
-            match decode_feedback_whitened(&params, &fb_rx, 0.3, Some(&noise_psd)) {
+            match decode_feedback_whitened(&params, &fb_rx, 0.3, Some(noise_psd.as_slice())) {
                 Some(decoded) => (selected, decoded.band, decoded.band == selected),
                 None => {
                     // feedback lost: Alice never sends data

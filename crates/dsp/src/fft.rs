@@ -356,6 +356,8 @@ pub struct RealFft {
     full: Option<Rc<Fft>>,
     /// Untangling twiddles `e^{-2πi k/len}` for `k < len/2`.
     w: Vec<Complex>,
+    /// Packed-pair scratch for the `*_into` paths (lazily sized).
+    pack: RefCell<Vec<Complex>>,
 }
 
 impl RealFft {
@@ -371,6 +373,7 @@ impl RealFft {
                 w: (0..m)
                     .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / len as f64))
                     .collect(),
+                pack: RefCell::new(Vec::new()),
             }
         } else {
             Self {
@@ -378,6 +381,7 @@ impl RealFft {
                 half: None,
                 full: Some(planner(len)),
                 w: Vec::new(),
+                pack: RefCell::new(Vec::new()),
             }
         }
     }
@@ -399,24 +403,36 @@ impl RealFft {
 
     /// Forward DFT of a real signal, returning bins `0..=len/2`.
     pub fn forward_half(&self, signal: &[f64]) -> Vec<Complex> {
+        let mut out = Vec::new();
+        self.forward_half_into(signal, &mut out);
+        out
+    }
+
+    /// [`forward_half`](RealFft::forward_half) into a caller-owned buffer:
+    /// `out` is cleared and refilled, and the packed-pair work buffer is
+    /// reused across calls — no allocation on the steady state. Produces
+    /// bit-identical values to the allocating form.
+    pub fn forward_half_into(&self, signal: &[f64], out: &mut Vec<Complex>) {
         assert_eq!(signal.len(), self.len, "FFT length mismatch");
         let Some(half) = &self.half else {
             // Odd length: full complex transform, truncated.
-            let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::real(x)).collect();
-            self.full.as_ref().unwrap().forward(&mut buf);
-            buf.truncate(self.spectrum_len());
-            return buf;
+            out.clear();
+            out.extend(signal.iter().map(|&x| Complex::real(x)));
+            self.full.as_ref().unwrap().forward(out);
+            out.truncate(self.spectrum_len());
+            return;
         };
         let m = self.len / 2;
         // Pack adjacent samples into complex pairs: z[n] = x[2n] + i·x[2n+1].
-        let mut z: Vec<Complex> = (0..m)
-            .map(|i| Complex::new(signal[2 * i], signal[2 * i + 1]))
-            .collect();
+        let mut z = self.pack.borrow_mut();
+        z.clear();
+        z.extend((0..m).map(|i| Complex::new(signal[2 * i], signal[2 * i + 1])));
         half.forward(&mut z);
         // Untangle: E[k] = (Z[k]+conj(Z[M−k]))/2 is the even-sample DFT,
         // O[k] = −i·(Z[k]−conj(Z[M−k]))/2 the odd-sample DFT, and
         // X[k] = E[k] + w^k·O[k].
-        let mut out = vec![ZERO; m + 1];
+        out.clear();
+        out.resize(m + 1, ZERO);
         out[0] = Complex::real(z[0].re + z[0].im);
         out[m] = Complex::real(z[0].re - z[0].im);
         for k in 1..m {
@@ -427,7 +443,6 @@ impl RealFft {
             let odd = Complex::new(half_dif.im, -half_dif.re); // −i·(Z[k]−conj(Z[M−k]))/2
             out[k] = even + self.w[k] * odd;
         }
-        out
     }
 
     /// Forward DFT of a real signal, returning the full `len`-bin spectrum
@@ -441,6 +456,16 @@ impl RealFft {
     /// returning the real signal. Exact inverse of
     /// [`forward_half`](RealFft::forward_half).
     pub fn inverse_half(&self, half_spec: &[Complex]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.inverse_half_into(half_spec, &mut out);
+        out
+    }
+
+    /// [`inverse_half`](RealFft::inverse_half) into a caller-owned buffer:
+    /// `out` is cleared and refilled, and the packed-pair work buffer is
+    /// reused across calls. Produces bit-identical values to the
+    /// allocating form.
+    pub fn inverse_half_into(&self, half_spec: &[Complex], out: &mut Vec<f64>) {
         assert_eq!(
             half_spec.len(),
             self.spectrum_len(),
@@ -450,12 +475,16 @@ impl RealFft {
             // Odd length: mirror and run the complex inverse.
             let mut buf = extend_hermitian(half_spec, self.len);
             self.full.as_ref().unwrap().inverse(&mut buf);
-            return buf.into_iter().map(|c| c.re).collect();
+            out.clear();
+            out.extend(buf.into_iter().map(|c| c.re));
+            return;
         };
         let m = self.len / 2;
         // Reverse the untangling: Z[k] = E[k] + i·O[k] with
         // E[k] = (X[k]+conj(X[M−k]))/2, O[k] = (X[k]−conj(X[M−k]))·w̄^k/2.
-        let mut z = vec![ZERO; m];
+        let mut z = self.pack.borrow_mut();
+        z.clear();
+        z.resize(m, ZERO);
         for (k, zk) in z.iter_mut().enumerate() {
             let xk = half_spec[k];
             let xc = half_spec[m - k].conj();
@@ -464,12 +493,12 @@ impl RealFft {
             *zk = add_i(even, odd);
         }
         half.inverse(&mut z);
-        let mut out = Vec::with_capacity(self.len);
-        for c in z {
+        out.clear();
+        out.reserve(self.len);
+        for c in z.iter() {
             out.push(c.re);
             out.push(c.im);
         }
-        out
     }
 }
 

@@ -8,6 +8,8 @@
 use crate::complex::{Complex, ZERO};
 use crate::fft::real_planner;
 use crate::window::Window;
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// Designs a linear-phase lowpass FIR with `taps` coefficients and cutoff
 /// `cutoff_hz` at sample rate `fs`, using the given window.
@@ -105,10 +107,15 @@ pub fn fft_convolve(x: &[f64], h: &[f64]) -> Vec<f64> {
     y
 }
 
+/// Work threshold above which [`convolve_auto`] switches from direct to
+/// FFT convolution. [`PlannedConvolver::filter_same_into`] uses the same
+/// cutoff so the planned path stays bit-identical to the unplanned one.
+const DIRECT_FFT_THRESHOLD: usize = 1 << 16;
+
 /// Convolution that picks direct or FFT form based on size.
 pub fn convolve_auto(x: &[f64], h: &[f64]) -> Vec<f64> {
     // Direct cost ~ x.len()*h.len(); FFT cost ~ N log N with N ≈ sum.
-    if x.len().saturating_mul(h.len()) > 1 << 16 {
+    if x.len().saturating_mul(h.len()) > DIRECT_FFT_THRESHOLD {
         fft_convolve(x, h)
     } else {
         convolve(x, h)
@@ -125,12 +132,225 @@ pub fn filter_same(x: &[f64], h: &[f64]) -> Vec<f64> {
     full[delay..delay + x.len()].to_vec()
 }
 
+/// FFT convolution with a fixed filter, planned once and reused.
+///
+/// [`fft_convolve`] pays two costs per call that do not depend on the
+/// input: the filter's padded forward transform, and fresh `Vec`s for the
+/// padded input, both spectra and the output. `PlannedConvolver` caches
+/// the filter's half-spectrum per padded FFT size (the size follows the
+/// input length, so several can coexist) and reuses scratch buffers across
+/// calls; the `*_into` variants also reuse the output buffer. This is the
+/// per-packet hot path of the channel renderer and the receiver front end,
+/// paid several times per trial.
+///
+/// Every result is **bit-identical** to the unplanned free functions: the
+/// same `RealFft` plan (shared through the thread-local planner cache)
+/// runs the same arithmetic on the same values — only the redundant
+/// recomputation and allocation are gone. The equivalence is pinned by
+/// `dsp/tests/properties.rs`.
+pub struct PlannedConvolver {
+    taps: Vec<f64>,
+    /// Filter half-spectra keyed by padded FFT size.
+    spectra: RefCell<HashMap<usize, Vec<Complex>>>,
+    /// Zero-padded input scratch.
+    padded: RefCell<Vec<f64>>,
+    /// Input-spectrum / product scratch.
+    spec: RefCell<Vec<Complex>>,
+}
+
+impl PlannedConvolver {
+    /// Plans convolution by the given filter taps.
+    pub fn new(taps: Vec<f64>) -> Self {
+        Self {
+            taps,
+            spectra: RefCell::new(HashMap::new()),
+            padded: RefCell::new(Vec::new()),
+            spec: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The filter taps this convolver applies.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// "Full"-mode convolution; bit-identical to
+    /// [`fft_convolve`]`(x, self.taps())`.
+    pub fn convolve(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.convolve_into(x, &mut out);
+        out
+    }
+
+    /// [`convolve`](PlannedConvolver::convolve) into a caller-owned buffer
+    /// (cleared and refilled; no allocation once the scratch is warm).
+    pub fn convolve_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        if x.is_empty() || self.taps.is_empty() {
+            return;
+        }
+        let out_len = x.len() + self.taps.len() - 1;
+        let n = out_len.next_power_of_two();
+        let plan = real_planner(n);
+        let mut spectra = self.spectra.borrow_mut();
+        let fb = spectra.entry(n).or_insert_with(|| {
+            let mut b = self.taps.clone();
+            b.resize(n, 0.0);
+            plan.forward_half(&b)
+        });
+        let mut padded = self.padded.borrow_mut();
+        padded.clear();
+        padded.extend_from_slice(x);
+        padded.resize(n, 0.0);
+        let mut fa = self.spec.borrow_mut();
+        plan.forward_half_into(&padded, &mut fa);
+        for (p, q) in fa.iter_mut().zip(fb.iter()) {
+            *p *= *q;
+        }
+        plan.inverse_half_into(&fa, out);
+        out.truncate(out_len);
+    }
+
+    /// "Same"-mode filtering with group-delay compensation; bit-identical
+    /// to [`filter_same`]`(x, self.taps())` including its direct-vs-FFT
+    /// dispatch, with the delay trim done in place (one buffer end to end).
+    pub fn filter_same(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.filter_same_into(x, &mut out);
+        out
+    }
+
+    /// [`filter_same`](PlannedConvolver::filter_same) into a caller-owned
+    /// buffer.
+    pub fn filter_same_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        if x.len().saturating_mul(self.taps.len()) > DIRECT_FFT_THRESHOLD {
+            self.convolve_into(x, out);
+        } else {
+            // Direct form, written straight into `out` with the same
+            // accumulation order (and zero-skip) as `convolve`.
+            out.clear();
+            out.resize(x.len() + self.taps.len() - 1, 0.0);
+            for (i, &xi) in x.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                for (j, &hj) in self.taps.iter().enumerate() {
+                    out[i + j] += xi * hj;
+                }
+            }
+        }
+        let delay = (self.taps.len() - 1) / 2;
+        out.copy_within(delay..delay + x.len(), 0);
+        out.truncate(x.len());
+    }
+}
+
+/// Streaming overlap-save convolution with a fixed filter: the block-based
+/// counterpart of [`PlannedConvolver`] and the fast drop-in for
+/// [`StreamingFir`] when the tap count makes direct convolution expensive.
+///
+/// Semantics match [`StreamingFir::process`]: causal output aligned with
+/// the input (group delay included), state carried across arbitrary block
+/// sizes. Each push is processed in segments of `fft_len − taps + 1`
+/// samples against the cached filter spectrum; a short final segment is
+/// zero-padded and only its valid outputs emitted, so chunking never
+/// changes the result. Output equals direct convolution to FFT rounding
+/// (~1e-12), not bit-exactly — receivers that pin golden vectors keep
+/// [`StreamingFir`].
+pub struct OverlapSaveFir {
+    taps_len: usize,
+    fft_len: usize,
+    /// Filter half-spectrum at `fft_len`.
+    filter_fd: Vec<Complex>,
+    /// Last `taps_len − 1` input samples.
+    history: Vec<f64>,
+    /// Segment scratch (time domain).
+    seg: Vec<f64>,
+    /// Segment spectrum scratch.
+    spec: Vec<Complex>,
+    /// Inverse-transform scratch.
+    inv: Vec<f64>,
+}
+
+impl OverlapSaveFir {
+    /// Plans a streaming convolver for the taps. FFT size is the smallest
+    /// power of two giving segments at least three filter lengths long.
+    pub fn new(taps: Vec<f64>) -> Self {
+        assert!(!taps.is_empty());
+        let taps_len = taps.len();
+        let fft_len = (4 * taps_len.max(64)).next_power_of_two();
+        let plan = real_planner(fft_len);
+        let mut padded = taps;
+        padded.resize(fft_len, 0.0);
+        let filter_fd = plan.forward_half(&padded);
+        Self {
+            taps_len,
+            fft_len,
+            filter_fd,
+            history: vec![0.0; taps_len - 1],
+            seg: Vec::new(),
+            spec: Vec::new(),
+            inv: Vec::new(),
+        }
+    }
+
+    /// Filters one block, maintaining state across calls; returns
+    /// `block.len()` output samples.
+    pub fn process(&mut self, block: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(block.len());
+        self.process_into(block, &mut out);
+        out
+    }
+
+    /// [`process`](OverlapSaveFir::process) into a caller-owned buffer
+    /// (cleared and refilled).
+    pub fn process_into(&mut self, block: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        let hist = self.taps_len - 1;
+        let seg_payload = self.fft_len - hist;
+        let plan = real_planner(self.fft_len);
+        let mut pos = 0;
+        while pos < block.len() {
+            let take = seg_payload.min(block.len() - pos);
+            let chunk = &block[pos..pos + take];
+            self.seg.clear();
+            self.seg.extend_from_slice(&self.history);
+            self.seg.extend_from_slice(chunk);
+            self.seg.resize(self.fft_len, 0.0);
+            plan.forward_half_into(&self.seg, &mut self.spec);
+            for (p, q) in self.spec.iter_mut().zip(&self.filter_fd) {
+                *p *= *q;
+            }
+            plan.inverse_half_into(&self.spec, &mut self.inv);
+            // Circular wrap only touches the first `hist` outputs; the
+            // next `take` are exact linear-convolution samples aligned
+            // with this chunk's inputs.
+            out.extend_from_slice(&self.inv[hist..hist + take]);
+            // New history = last `hist` samples of (history ++ chunk),
+            // which is exactly the tail of the unpadded segment.
+            let seg_used = hist + take;
+            self.history
+                .copy_from_slice(&self.seg[seg_used - hist..seg_used]);
+            pos += take;
+        }
+    }
+
+    /// Resets the carried input history to silence.
+    pub fn reset(&mut self) {
+        for v in self.history.iter_mut() {
+            *v = 0.0;
+        }
+    }
+}
+
 /// A streaming FIR filter with persistent state, for block-based real-time
 /// style processing (carrier sense, receiver front end).
 pub struct StreamingFir {
     taps: Vec<f64>,
     /// Delay line of the last `taps.len()-1` input samples.
     history: Vec<f64>,
+    /// Reusable history+block work buffer (grows to the largest block).
+    scratch: Vec<f64>,
 }
 
 impl StreamingFir {
@@ -141,41 +361,32 @@ impl StreamingFir {
         Self {
             taps,
             history: vec![0.0; hist_len],
+            scratch: Vec::new(),
         }
     }
 
     /// Filters one block, maintaining state across calls. Output aligns with
     /// input (causal; includes the filter's group delay).
     pub fn process(&mut self, block: &[f64]) -> Vec<f64> {
-        let k = self.taps.len();
-        let mut extended = Vec::with_capacity(self.history.len() + block.len());
-        extended.extend_from_slice(&self.history);
-        extended.extend_from_slice(block);
+        let hist = self.taps.len() - 1;
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.history);
+        self.scratch.extend_from_slice(block);
         let mut out = Vec::with_capacity(block.len());
         for i in 0..block.len() {
-            // extended index of current sample = history.len() + i
-            let end = self.history.len() + i;
+            // scratch index of current sample = hist + i ≥ every tap
+            // offset, so indices never underflow.
+            let end = hist + i;
             let mut acc = 0.0;
             for (j, &t) in self.taps.iter().enumerate() {
-                let idx = end as isize - j as isize;
-                if idx >= 0 {
-                    acc += t * extended[idx as usize];
-                }
+                acc += t * self.scratch[end - j];
             }
             out.push(acc);
         }
-        // Update history with the last k-1 input samples.
-        if block.len() >= k - 1 {
-            self.history.clear();
-            self.history
-                .extend_from_slice(&block[block.len() - (k - 1)..]);
-        } else {
-            let keep = (k - 1) - block.len();
-            let tail: Vec<f64> = self.history[self.history.len() - keep..].to_vec();
-            self.history.clear();
-            self.history.extend_from_slice(&tail);
-            self.history.extend_from_slice(block);
-        }
+        // The last `hist` samples of history++block are exactly the next
+        // call's delay line — no tail copy through a temporary.
+        let n = self.scratch.len();
+        self.history.copy_from_slice(&self.scratch[n - hist..]);
         out
     }
 
@@ -273,5 +484,170 @@ mod tests {
         f.reset();
         let y = f.process(&[0.0]);
         assert_eq!(y, vec![0.0]);
+    }
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s as f64 / u64::MAX as f64) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn planned_convolver_is_bit_identical_to_fft_convolve() {
+        // Repeated calls at several input lengths (several padded sizes),
+        // interleaved, must all match the unplanned path bit for bit.
+        let h = rand_vec(129, 7);
+        let conv = PlannedConvolver::new(h.clone());
+        for &n in &[1usize, 37, 129, 500, 500, 1000, 37, 4096] {
+            let x = rand_vec(n, n as u64 + 1);
+            let planned = conv.convolve(&x);
+            let reference = fft_convolve(&x, &h);
+            assert_eq!(planned.len(), reference.len(), "len {n}");
+            for (i, (p, r)) in planned.iter().zip(&reference).enumerate() {
+                assert_eq!(p.to_bits(), r.to_bits(), "len {n} sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_convolver_empty_input_is_empty() {
+        let conv = PlannedConvolver::new(vec![1.0, 2.0]);
+        assert!(conv.convolve(&[]).is_empty());
+        let empty = PlannedConvolver::new(Vec::new());
+        assert!(empty.convolve(&[1.0, 2.0]).is_empty());
+    }
+
+    #[test]
+    fn planned_filter_same_matches_free_function_both_branches() {
+        let h = design_bandpass(129, 1000.0, 4000.0, 48000.0, Window::Hamming);
+        let conv = PlannedConvolver::new(h.clone());
+        // 300 samples: direct branch; 3000 samples: FFT branch.
+        for &n in &[300usize, 3000] {
+            let x = rand_vec(n, 3 + n as u64);
+            let planned = conv.filter_same(&x);
+            let reference = filter_same(&x, &h);
+            assert_eq!(planned.len(), reference.len());
+            for (i, (p, r)) in planned.iter().zip(&reference).enumerate() {
+                assert_eq!(p.to_bits(), r.to_bits(), "len {n} sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn convolve_into_reuses_buffer_across_sizes() {
+        let conv = PlannedConvolver::new(rand_vec(33, 5));
+        let mut out = Vec::new();
+        conv.convolve_into(&rand_vec(100, 1), &mut out);
+        assert_eq!(out.len(), 132);
+        conv.convolve_into(&rand_vec(10, 2), &mut out);
+        assert_eq!(out.len(), 42);
+        let reference = fft_convolve(&rand_vec(10, 2), conv.taps());
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn overlap_save_matches_streaming_fir_across_chunkings() {
+        let h = design_lowpass(65, 3000.0, 48000.0, Window::Hann);
+        let x = rand_vec(2000, 11);
+        let mut direct = StreamingFir::new(h.clone());
+        let want = direct.process(&x);
+        for chunk in [1usize, 7, 64, 481, 2000] {
+            let mut osf = OverlapSaveFir::new(h.clone());
+            let mut got = Vec::new();
+            for c in x.chunks(chunk) {
+                got.extend(osf.process(c));
+            }
+            assert_eq!(got.len(), want.len(), "chunk {chunk}");
+            for i in 0..got.len() {
+                assert!(
+                    (got[i] - want[i]).abs() < 1e-9,
+                    "chunk {chunk} sample {i}: {} vs {}",
+                    got[i],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_save_reset_clears_state() {
+        let mut osf = OverlapSaveFir::new(vec![0.25; 4]);
+        osf.process(&[8.0; 16]);
+        osf.reset();
+        let y = osf.process(&[0.0; 8]);
+        for v in y {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn streaming_fir_long_stream_matches_legacy_implementation() {
+        // The pre-scratch implementation, kept verbatim as the oracle for
+        // the history-rotation rewrite (it reallocated the tail per block).
+        struct Legacy {
+            taps: Vec<f64>,
+            history: Vec<f64>,
+        }
+        impl Legacy {
+            fn process(&mut self, block: &[f64]) -> Vec<f64> {
+                let k = self.taps.len();
+                let mut extended = Vec::with_capacity(self.history.len() + block.len());
+                extended.extend_from_slice(&self.history);
+                extended.extend_from_slice(block);
+                let mut out = Vec::with_capacity(block.len());
+                for i in 0..block.len() {
+                    let end = self.history.len() + i;
+                    let mut acc = 0.0;
+                    for (j, &t) in self.taps.iter().enumerate() {
+                        let idx = end as isize - j as isize;
+                        if idx >= 0 {
+                            acc += t * extended[idx as usize];
+                        }
+                    }
+                    out.push(acc);
+                }
+                if block.len() >= k - 1 {
+                    self.history.clear();
+                    self.history
+                        .extend_from_slice(&block[block.len() - (k - 1)..]);
+                } else {
+                    let keep = (k - 1) - block.len();
+                    let tail: Vec<f64> = self.history[self.history.len() - keep..].to_vec();
+                    self.history.clear();
+                    self.history.extend_from_slice(&tail);
+                    self.history.extend_from_slice(block);
+                }
+                out
+            }
+        }
+        let taps = design_bandpass(129, 1000.0, 4000.0, 48000.0, Window::Hamming);
+        let mut new_impl = StreamingFir::new(taps.clone());
+        let mut old_impl = Legacy {
+            history: vec![0.0; taps.len() - 1],
+            taps,
+        };
+        // A long stream with shifting chunk sizes, including sub-history
+        // blocks (the branch the old tail copy served).
+        let x = rand_vec(20_000, 77);
+        let mut pos = 0;
+        let mut step = 0usize;
+        while pos < x.len() {
+            let sizes = [1usize, 3, 960, 97, 128, 480, 31, 2048];
+            let take = sizes[step % sizes.len()].min(x.len() - pos);
+            let a = new_impl.process(&x[pos..pos + take]);
+            let b = old_impl.process(&x[pos..pos + take]);
+            assert_eq!(a.len(), b.len());
+            for (i, (p, q)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(p.to_bits(), q.to_bits(), "chunk at {pos}, sample {i}");
+            }
+            pos += take;
+            step += 1;
+        }
     }
 }

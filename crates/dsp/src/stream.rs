@@ -25,8 +25,9 @@
 //! forces the remaining computable outputs out (zero-padding the final
 //! block) at end of stream or when a latency deadline expires.
 
-use crate::complex::{Complex, ZERO};
-use crate::fft::{planner, Fft};
+use crate::complex::Complex;
+use crate::fft::{real_planner, RealFft};
+use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Streaming overlap-save FFT cross-correlator for a fixed template.
@@ -43,9 +44,16 @@ pub struct OverlapSaveCorrelator {
     block: usize,
     /// Valid outputs per full block: `B − M + 1`.
     l_per_block: usize,
-    plan: Rc<Fft>,
-    /// Spectrum of the reversed, zero-padded template (computed once).
+    /// Half-size real-FFT plan: signal and template are both real, so
+    /// each block costs one half-spectrum forward, a pointwise product
+    /// over `B/2 + 1` bins, and one Hermitian inverse.
+    plan: Rc<RealFft>,
+    /// Half-spectrum of the reversed, zero-padded template (computed once).
     template_fd: Vec<Complex>,
+    /// Block time-domain / spectrum scratch, reused across blocks.
+    seg: RefCell<Vec<f64>>,
+    spec: RefCell<Vec<Complex>>,
+    inv: RefCell<Vec<f64>>,
     /// Sample history `[base, total)`; samples below `emitted` are dropped.
     history: Vec<f64>,
     /// Absolute stream index of `history[0]`.
@@ -64,17 +72,19 @@ impl OverlapSaveCorrelator {
         assert!(!template.is_empty(), "empty correlation template");
         let m = template.len();
         let block = (2 * m).next_power_of_two().max(64);
-        let plan = planner(block);
-        let mut template_fd: Vec<Complex> =
-            template.iter().rev().map(|&v| Complex::real(v)).collect();
-        template_fd.resize(block, ZERO);
-        plan.forward(&mut template_fd);
+        let plan = real_planner(block);
+        let mut reversed: Vec<f64> = template.iter().rev().copied().collect();
+        reversed.resize(block, 0.0);
+        let template_fd = plan.forward_half(&reversed);
         Self {
             m,
             block,
             l_per_block: block - m + 1,
             plan,
             template_fd,
+            seg: RefCell::new(Vec::new()),
+            spec: RefCell::new(Vec::new()),
+            inv: RefCell::new(Vec::new()),
             history: Vec::new(),
             base: 0,
             emitted: 0,
@@ -146,19 +156,20 @@ impl OverlapSaveCorrelator {
     fn process_block(&mut self, count: usize, out: &mut Vec<f64>) {
         let start = self.emitted - self.base;
         let have = self.history.len() - start;
-        let mut buf: Vec<Complex> = self.history[start..start + have.min(self.block)]
-            .iter()
-            .map(|&v| Complex::real(v))
-            .collect();
-        buf.resize(self.block, ZERO);
-        self.plan.forward(&mut buf);
-        for (p, q) in buf.iter_mut().zip(&self.template_fd) {
+        let mut seg = self.seg.borrow_mut();
+        seg.clear();
+        seg.extend_from_slice(&self.history[start..start + have.min(self.block)]);
+        seg.resize(self.block, 0.0);
+        let mut spec = self.spec.borrow_mut();
+        self.plan.forward_half_into(&seg, &mut spec);
+        for (p, q) in spec.iter_mut().zip(&self.template_fd) {
             *p *= *q;
         }
-        self.plan.inverse(&mut buf);
+        let mut inv = self.inv.borrow_mut();
+        self.plan.inverse_half_into(&spec, &mut inv);
         // circular-convolution indices m−1.. are alias-free; index m−1+i is
         // valid lag emitted+i
-        out.extend(buf[self.m - 1..self.m - 1 + count].iter().map(|c| c.re));
+        out.extend_from_slice(&inv[self.m - 1..self.m - 1 + count]);
         self.emitted += count;
     }
 

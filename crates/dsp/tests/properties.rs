@@ -3,7 +3,7 @@
 use aqua_dsp::complex::Complex;
 use aqua_dsp::correlate::{xcorr_valid, xcorr_valid_fft};
 use aqua_dsp::fft::{fft_real, ifft_real, planner, Fft, RealFft};
-use aqua_dsp::fir::{convolve, fft_convolve};
+use aqua_dsp::fir::{convolve, fft_convolve, OverlapSaveFir, PlannedConvolver};
 use aqua_dsp::goertzel::goertzel;
 use aqua_dsp::stats::{percentile, qfunc};
 use aqua_dsp::window::Window;
@@ -70,6 +70,56 @@ proptest! {
         for i in 0..a.len() {
             prop_assert!((a[i] - b[i]).abs() < 1e-9);
             prop_assert!((a[i] - c[i]).abs() < 1e-6);
+        }
+    }
+
+    /// The planned convolver is bit-identical to `fft_convolve` and agrees
+    /// with naive convolution, at arbitrary (odd, prime, mismatched)
+    /// lengths. One convolver instance serves every input length.
+    #[test]
+    fn planned_convolver_equivalences(x in signal_strategy(97), h in signal_strategy(41)) {
+        let planned_filter = PlannedConvolver::new(h.clone());
+        let planned = planned_filter.convolve(&x);
+        let fft = fft_convolve(&x, &h);
+        let naive = convolve(&x, &h);
+        prop_assert_eq!(planned.len(), fft.len());
+        prop_assert_eq!(planned.len(), naive.len());
+        for i in 0..planned.len() {
+            prop_assert_eq!(planned[i].to_bits(), fft[i].to_bits(),
+                "bit mismatch vs fft_convolve at {} (x {}, h {})", i, x.len(), h.len());
+            prop_assert!((planned[i] - naive[i]).abs() < 1e-6);
+        }
+        // second call through the now-warm spectrum cache: still identical
+        let again = planned_filter.convolve(&x);
+        for i in 0..planned.len() {
+            prop_assert_eq!(again[i].to_bits(), planned[i].to_bits());
+        }
+    }
+
+    /// Planned convolution of an empty input (either side) is empty, like
+    /// the free functions.
+    #[test]
+    fn planned_convolver_empty_inputs(h in signal_strategy(16)) {
+        prop_assert!(PlannedConvolver::new(h.clone()).convolve(&[]).is_empty());
+        prop_assert!(PlannedConvolver::new(Vec::new()).convolve(&h).is_empty());
+        prop_assert!(fft_convolve(&[], &h).is_empty());
+    }
+
+    /// Streaming overlap-save convolution is chunk-invariant and matches
+    /// batch convolution (causal prefix) to FFT rounding.
+    #[test]
+    fn overlap_save_fir_matches_batch(x in signal_strategy(600), h in signal_strategy(48),
+                                      chunk in 1usize..97) {
+        let want = convolve(&x, &h);
+        let mut osf = OverlapSaveFir::new(h.clone());
+        let mut got = Vec::new();
+        for c in x.chunks(chunk) {
+            got.extend(osf.process(c));
+        }
+        prop_assert_eq!(got.len(), x.len());
+        for i in 0..got.len() {
+            prop_assert!((got[i] - want[i]).abs() < 1e-8,
+                "chunk {} sample {}: {} vs {}", chunk, i, got[i], want[i]);
         }
     }
 

@@ -25,12 +25,12 @@ pub mod table;
 
 pub use runner::RunSize;
 
-/// Receiver front end shared by experiments: the 1–4 kHz bandpass.
+/// Receiver front end shared by experiments: the exact filter the trial
+/// engine's receiver runs (see `aquapp::trial::front_end` — a per-thread
+/// planned 1–4 kHz bandpass), re-exported so harness captures and packet
+/// trials can never drift onto different front ends.
 pub fn front_end(rx: &[f64]) -> Vec<f64> {
-    use aqua_dsp::fir::{design_bandpass, filter_same};
-    use aqua_dsp::window::Window;
-    let taps = design_bandpass(129, 850.0, 4150.0, runner::FS, Window::Hamming);
-    filter_same(rx, &taps)
+    aquapp::trial::front_end(rx)
 }
 
 /// Runs one named experiment, returning its report.

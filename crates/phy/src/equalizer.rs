@@ -48,14 +48,24 @@ impl Equalizer {
 
     /// Applies the equalizer, compensating its design delay. Output has the
     /// same length as the input.
+    ///
+    /// Runs on one buffer end to end: the convolution (planned FFT path
+    /// for packet-sized inputs, direct below the crossover) writes the
+    /// full response and the delay trim happens in place — the previous
+    /// implementation copied the packet a second time building the
+    /// trimmed output. An equalizer is designed fresh per packet, so
+    /// there is no cross-call filter spectrum worth caching here; the
+    /// FFT plans themselves come from the thread-local planner cache.
     pub fn apply(&self, x: &[f64]) -> Vec<f64> {
-        let full = convolve_auto(x, &self.taps);
-        let mut out = Vec::with_capacity(x.len());
-        for i in 0..x.len() {
-            let idx = i + self.delay;
-            out.push(if idx < full.len() { full[idx] } else { 0.0 });
+        let mut full = convolve_auto(x, &self.taps);
+        if self.delay < full.len() {
+            full.copy_within(self.delay.., 0);
+            full.truncate(full.len() - self.delay);
+        } else {
+            full.clear();
         }
-        out
+        full.resize(x.len(), 0.0);
+        full
     }
 }
 
@@ -191,6 +201,66 @@ mod tests {
         let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
         let eq = Equalizer::identity();
         assert_eq!(eq.apply(&x), x);
+    }
+
+    #[test]
+    fn apply_in_place_trim_matches_legacy_double_copy() {
+        // The pre-PR-4 apply, kept as the oracle: convolve, then copy the
+        // packet again while indexing past the design delay.
+        let legacy = |eq: &Equalizer, x: &[f64]| -> Vec<f64> {
+            let full = convolve_auto(x, &eq.taps);
+            (0..x.len())
+                .map(|i| {
+                    let idx = i + eq.delay;
+                    if idx < full.len() {
+                        full[idx]
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        };
+        let mut s = 1u64;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        // Direct branch (short input), FFT branch (packet-sized input),
+        // and the delay-past-the-end edge where the tail zero-fills.
+        let cases: Vec<Equalizer> = vec![
+            Equalizer {
+                taps: (0..480).map(|_| rnd()).collect(),
+                delay: 240,
+            },
+            Equalizer {
+                taps: (0..7).map(|_| rnd()).collect(),
+                delay: 3,
+            },
+            Equalizer {
+                taps: vec![1.0, -0.5],
+                delay: 600, // ≥ full length for the short input below
+            },
+        ];
+        for eq in &cases {
+            for n in [40usize, 3000] {
+                let x: Vec<f64> = (0..n).map(|_| rnd()).collect();
+                let got = eq.apply(&x);
+                let want = legacy(eq, &x);
+                assert_eq!(got.len(), want.len());
+                for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "taps {} delay {} n {} sample {i}",
+                        eq.taps.len(),
+                        eq.delay,
+                        n
+                    );
+                }
+            }
+        }
     }
 
     /// Designs an equalizer on a tiled (streaming) training signal and

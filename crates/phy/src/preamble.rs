@@ -82,7 +82,7 @@ fn zc_root(len: usize) -> usize {
 }
 
 /// Detector thresholds and search parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectorConfig {
     /// Normalized cross-correlation level that makes a sample a candidate.
     pub coarse_threshold: f64,
@@ -626,15 +626,44 @@ impl StreamingDetector {
 /// Convenience one-shot run of the streaming detector over a full capture:
 /// push, flush, first detection. The streaming analogue of [`detect`] —
 /// used by the evaluation harness and the equivalence test suite.
+///
+/// Each worker thread keeps one long-lived [`StreamingDetector`] per
+/// (numerology, config) and `reset`s it per capture, so the overlap-save
+/// engine and template spectrum are planned once instead of per call.
+/// `reset` restores the exact post-construction state (the golden suite
+/// pins this), so decisions are identical to a fresh detector; a change
+/// of numerology or thresholds rebuilds.
 pub fn detect_streaming(
     rx: &[f64],
     preamble: &Preamble,
     cfg: &DetectorConfig,
 ) -> Option<Detection> {
-    let mut det = StreamingDetector::new(preamble.clone(), *cfg);
-    let mut found = det.push(rx);
-    found.extend(det.flush());
-    found.into_iter().next()
+    use std::cell::RefCell;
+    thread_local! {
+        static DETECTOR: RefCell<Option<(OfdmParams, DetectorConfig, StreamingDetector)>> =
+            const { RefCell::new(None) };
+    }
+    DETECTOR.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        // `Preamble::new` is a pure function of its numerology, but the
+        // sample buffer is a `pub` field — compare it outright (a cheap
+        // memcmp next to the scan) so a caller-modified template can
+        // never alias a cached detector planned from the original.
+        let stale = !matches!(&*slot, Some((p, c, d))
+            if *p == preamble.params && c == cfg && d.preamble.samples == preamble.samples);
+        if stale {
+            *slot = Some((
+                preamble.params,
+                *cfg,
+                StreamingDetector::new(preamble.clone(), *cfg),
+            ));
+        }
+        let det = &mut slot.as_mut().unwrap().2;
+        det.reset();
+        let mut found = det.push(rx);
+        found.extend(det.flush());
+        found.into_iter().next()
+    })
 }
 
 #[cfg(test)]
