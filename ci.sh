@@ -53,6 +53,17 @@ check_budget "preamble_detect_0.33s_buffer" 10
 # mixed-radix path fails loudly without tripping on scheduler noise.
 check_budget "fft_960_forward" 0.025
 
+echo "==> perf smoke: channel_render (PR 5 polyphase fractional-delay engine)"
+# PR 5 baseline: the 0.5 s fast-motion lake render was 1040 ms per packet
+# on this container (ROADMAP's ~50 ms/trial estimate was 20x optimistic);
+# the polyphase engine brought it to ~28 ms (37x) and resample_const from
+# 40.6 ms to ~1.1 ms. Gate both at ~2x slack so a regression to per-tap
+# transcendental evaluation fails loudly.
+BENCH_OUT=$(cargo bench -p aqua-bench --bench channel_render)
+echo "$BENCH_OUT"
+check_budget "render_moving_0.5s" 55
+check_budget "resample_const_0.5s" 3
+
 echo "==> perf smoke: eval_throughput trials/s floor (PR 4 per-trial overhaul)"
 EVAL_OUT=$(cargo bench -p aqua-bench --bench eval_throughput)
 echo "$EVAL_OUT"

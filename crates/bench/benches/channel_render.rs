@@ -1,0 +1,53 @@
+//! Channel-renderer hot paths: the moving-trajectory (fig14-class) render
+//! and constant-rate resampling. Before PR 5 the moving render evaluated a
+//! 32-tap Kaiser-sinc from scratch per output sample per path — a
+//! *measured* 1040 ms for this 0.5 s fast-motion lake packet, the single
+//! largest remaining per-trial cost. The polyphase fractional-delay engine
+//! (DESIGN.md §10) turns the inner loop into table-blend dot products:
+//! 28 ms on the 1-core container. `ci.sh` gates `render_moving_0.5s` at
+//! ≤ 55 ms (~2× slack over the measured mean — far beyond ISSUE 5's ≥5×
+//! floor, which would be 208 ms) and `resample_const_0.5s` at ≤ 3 ms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aqua_channel::environments::{Environment, Site};
+use aqua_channel::geometry::Pos;
+use aqua_channel::link::{Link, LinkConfig};
+use aqua_channel::mobility::Trajectory;
+
+fn render_moving(c: &mut Criterion) {
+    // A fig14-style moving link: lake multipath (~33 tracked paths), fast
+    // swimmer dynamics, noise off so the timing isolates the render itself.
+    let mut cfg = LinkConfig::s9_pair(
+        Environment::preset(Site::Lake),
+        Pos::new(0.0, 0.0, 1.0),
+        Pos::new(5.0, 0.0, 1.0),
+        42,
+    );
+    cfg.noise = false;
+    cfg.tx_traj = Trajectory::fast(Pos::new(0.0, 0.0, 1.0), 44);
+    let mut link = Link::new(cfg);
+    let tx: Vec<f64> = (0..24_000).map(|i| (i as f64 * 0.29).sin()).collect();
+    link.transmit(&tx, 0.0); // warm the device-FIR plan and kernel table
+    c.bench_function("render_moving_0.5s", |b| {
+        b.iter(|| black_box(link.transmit(black_box(&tx), 0.0)))
+    });
+}
+
+fn resample(c: &mut Criterion) {
+    // The Doppler-compensation resampler over a 0.5 s packet at a typical
+    // estimated scale factor.
+    let sig: Vec<f64> = (0..24_000).map(|i| (i as f64 * 0.13).sin()).collect();
+    aqua_dsp::resample::resample_const(&sig, 1.0003); // warm the kernel table
+    c.bench_function("resample_const_0.5s", |b| {
+        b.iter(|| black_box(aqua_dsp::resample::resample_const(black_box(&sig), 1.0003)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = render_moving, resample
+}
+criterion_main!(benches);

@@ -54,7 +54,7 @@ impl DeviceModel {
 }
 
 /// Waterproof-case options (§3 "Testing in deeper waters", Fig. 18).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CaseKind {
     /// Bare device (characterization only).
     None,
@@ -77,7 +77,8 @@ impl CaseKind {
 
 /// A concrete device instance: model + case + whether air was left in the
 /// case (Fig. 18) + a per-unit seed (two physical S9s are not identical).
-#[derive(Debug, Clone, Copy)]
+/// Equality/hashing are field-exact — the device-FIR memo keys on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Device {
     /// Hardware model.
     pub model: DeviceModel,
@@ -261,15 +262,40 @@ fn model_grid(model: DeviceModel, is_tx: bool, freqs: &[f64]) -> std::rc::Rc<[f6
     })
 }
 
+/// Seeded ripple phases for [`ripple_db`], one per octave. The phases are
+/// a pure function of `(seed, octaves)` but were re-derived — a fresh
+/// `StdRng` per call — for *every frequency bin* of the FIR-design sweep;
+/// caching them per thread removes that cost from link construction while
+/// producing bit-identical ripple values (same draws, same arithmetic).
+fn ripple_phases(seed: u64, octaves: usize) -> std::rc::Rc<[f64]> {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::rc::Rc;
+    thread_local! {
+        static CACHE: RefCell<HashMap<(u64, usize), Rc<[f64]>>> = RefCell::new(HashMap::new());
+    }
+    CACHE.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry((seed, octaves))
+            .or_insert_with(|| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..=octaves)
+                    .map(|_| rng.gen_range(0.0..std::f64::consts::TAU))
+                    .collect()
+            })
+            .clone()
+    })
+}
+
 /// Smooth pseudo-random ripple in dB: a sum of `octaves+1` cosines in
 /// log-frequency with seeded phases, amplitude `amp_db` peak.
 fn ripple_db(seed: u64, freq_hz: f64, amp_db: f64, octaves: usize) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let phases = ripple_phases(seed, octaves);
     let logf = freq_hz.max(20.0).log2();
     let mut acc = 0.0;
-    for o in 0..=octaves {
+    for (o, &phase) in phases.iter().enumerate() {
         let cycles_per_decade = 0.8 + 0.9 * o as f64; // slow → fast ripple
-        let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
         let weight = 1.0 / (1.0 + o as f64);
         acc += weight * (cycles_per_decade * logf * std::f64::consts::TAU / 3.32 + phase).cos();
     }

@@ -7,7 +7,11 @@
 //!
 //! Two render paths: static endpoints use a precomputed multipath FIR and
 //! FFT convolution; moving endpoints evaluate per-sample fractional delays
-//! per path, interpolated across 10 ms blocks.
+//! per path, interpolated across 10 ms blocks. Both run on the shared
+//! [`PolyphaseKernel`] fractional-delay table (DESIGN.md §10): the moving
+//! path through its blocked ramp evaluator (delay varies linearly within a
+//! motion block, so the source index advances by a constant step), the
+//! static path through polyphase tap placement when building its FIR.
 
 use crate::device::Device;
 use crate::environments::Environment;
@@ -15,7 +19,7 @@ use crate::geometry::{eigenrays_into, Eigenray, Pos};
 use crate::mobility::Trajectory;
 use crate::noise::NoiseGenerator;
 use aqua_dsp::fir::PlannedConvolver;
-use aqua_dsp::resample::SincInterpolator;
+use aqua_dsp::polyphase::PolyphaseKernel;
 
 /// Default sample rate of the modem and simulator (48 kHz, §2.3.1).
 pub const SAMPLE_RATE: f64 = 48_000.0;
@@ -30,8 +34,10 @@ const MIN_REL_AMPLITUDE: f64 = 3e-3;
 const MAX_BOUNCE_ORDER: usize = 12;
 /// Block size for time-varying rendering (10 ms at 48 kHz).
 const MOTION_BLOCK: usize = 480;
-/// Half-width of the fractional-delay sinc kernel used to place taps.
-const TAP_HALF_WIDTH: usize = 16;
+/// Half-width of the fractional-delay sinc kernel used to place taps —
+/// the shared polyphase table's half-width, so tap placement and moving
+/// interpolation use identical kernels.
+const TAP_HALF_WIDTH: usize = aqua_dsp::polyphase::SHARED_HALF_TAPS;
 
 /// Configuration of a directed link (transmitter → receiver).
 #[derive(Debug, Clone)]
@@ -91,7 +97,9 @@ pub struct Link {
     /// the static path folds it into the fused FIR below.
     device_conv: PlannedConvolver,
     noise_gen: NoiseGenerator,
-    interp: SincInterpolator,
+    /// Shared fractional-delay table: blocked moving render + tap
+    /// placement (process-wide, built lazily on first link).
+    kernel: &'static PolyphaseKernel,
     /// Memoized static-geometry renderer: the fused device ∗ multipath
     /// FIR (one planned convolution applies both responses — half the
     /// transform work of chaining them) plus the multipath FIR's length
@@ -110,7 +118,7 @@ impl Link {
             cfg,
             device_conv: PlannedConvolver::new(device_fir),
             noise_gen,
-            interp: SincInterpolator::default(),
+            kernel: PolyphaseKernel::shared(),
             static_fir: None,
         }
     }
@@ -396,9 +404,16 @@ impl Link {
         full
     }
 
-    /// Moving render: block-interpolated per-path fractional delays. The
-    /// two eigenray buffers are reused across blocks (ping-ponged by swap)
-    /// instead of reallocating per block.
+    /// Moving render: block-interpolated per-path fractional delays on the
+    /// shared polyphase table. Within a block each path's delay and gain
+    /// vary linearly, so output sample `j = block_start + i` reads the
+    /// source at `src0 + i·src_step` — exactly the contract of
+    /// [`PolyphaseKernel::accumulate_ramp`], which turns the inner loop
+    /// into contiguous-window dot products (no transcendentals, no per-tap
+    /// bounds checks; packet fade-in/out falls back to the slow exact
+    /// path). The two eigenray buffers are reused across blocks
+    /// (ping-ponged by swap), and end-of-block rays are matched by identity
+    /// through a sorted index instead of a per-ray linear scan.
     fn render_moving(&mut self, x: &[f64], t0_s: f64) -> Vec<f64> {
         let fs = self.cfg.fs;
         let c = self.cfg.env.sound_speed;
@@ -415,6 +430,10 @@ impl Link {
         let out_len = x.len() + (max_delay * fs).ceil() as usize + 2 * TAP_HALF_WIDTH + 2;
         let mut y = vec![0.0; out_len];
 
+        // Sorted (id → index) view of `rays_b`, rebuilt per block: one
+        // O(p log p) sort + O(log p) lookups replaces the O(p²) per-block
+        // `iter().find(id)` of the per-sample renderer.
+        let mut idx_b: Vec<((u8, usize), usize)> = Vec::new();
         let mut block_start = 0usize;
         let mut dir_a = self.directivity_at(t0_s);
         while block_start < out_len {
@@ -425,27 +444,27 @@ impl Link {
             let gain_a = 10f64.powf((dir_a.0 + dir_a.1) / 20.0);
             let gain_b = 10f64.powf((dir_b.0 + dir_b.1) / 20.0);
 
+            idx_b.clear();
+            idx_b.extend(rays_b.iter().enumerate().map(|(i, r)| (r.id, i)));
+            idx_b.sort_unstable_by_key(|&(id, _)| id);
+
+            let out = &mut y[block_start..block_start + block_len];
             for ray_a in &rays_a {
                 // match this path at the end of the block by identity
-                let Some(ray_b) = rays_b.iter().find(|r| r.id == ray_a.id) else {
+                let Ok(found) = idx_b.binary_search_by_key(&ray_a.id, |&(id, _)| id) else {
                     continue;
                 };
+                let ray_b = &rays_b[idx_b[found].1];
                 let d0 = ray_a.delay_s(c) * fs;
                 let d1 = ray_b.delay_s(c) * fs;
                 let a0 = ray_a.amplitude * gain_a;
                 let a1 = ray_b.amplitude * gain_b;
-                for i in 0..block_len {
-                    let frac = i as f64 / block_len as f64;
-                    let delay = d0 + (d1 - d0) * frac;
-                    let amp = a0 + (a1 - a0) * frac;
-                    let j = block_start + i;
-                    let src = j as f64 - delay;
-                    if src >= -(TAP_HALF_WIDTH as f64)
-                        && src < x.len() as f64 + TAP_HALF_WIDTH as f64
-                    {
-                        y[j] += amp * self.interp.sample(x, src);
-                    }
-                }
+                // src(i) = (block_start + i) − (d0 + (d1−d0)·i/len)
+                let src0 = block_start as f64 - d0;
+                let src_step = 1.0 - (d1 - d0) / block_len as f64;
+                let amp_step = (a1 - a0) / block_len as f64;
+                self.kernel
+                    .accumulate_ramp(x, src0, src_step, a0, amp_step, out);
             }
             std::mem::swap(&mut rays_a, &mut rays_b);
             dir_a = dir_b;
@@ -468,43 +487,42 @@ fn angle_diff(a: f64, b: f64) -> f64 {
 }
 
 /// Adds a windowed-sinc fractional-delay tap of weight `amp` centered at
-/// fractional index `pos` into `fir`.
+/// fractional index `pos` into `fir`, through the shared polyphase table
+/// (same kernel the moving render interpolates with).
 fn add_fractional_tap(fir: &mut [f64], pos: f64, amp: f64) {
-    let center = pos.floor() as isize;
-    let h = TAP_HALF_WIDTH as isize;
-    for k in (center - h)..=(center + h + 1) {
-        if k < 0 || k as usize >= fir.len() {
-            continue;
-        }
-        // kernel evaluated via the interpolator's sampling of a unit impulse:
-        // value of sinc centered at pos, at integer k
-        let x = k as f64 - pos;
-        fir[k as usize] += amp * sinc_kernel(x, TAP_HALF_WIDTH as f64);
-    }
-}
-
-/// Kaiser-windowed sinc (matches `SincInterpolator::default` shape).
-fn sinc_kernel(x: f64, half_width: f64) -> f64 {
-    if x.abs() >= half_width {
-        return 0.0;
-    }
-    let sinc = if x.abs() < 1e-12 {
-        1.0
-    } else {
-        let px = std::f64::consts::PI * x;
-        px.sin() / px
-    };
-    let beta = 8.0;
-    let r = x / half_width;
-    let w = aqua_dsp::window::bessel_i0(beta * (1.0 - r * r).max(0.0).sqrt())
-        / aqua_dsp::window::bessel_i0(beta);
-    sinc * w
+    PolyphaseKernel::shared().add_tap(fir, pos, amp);
 }
 
 /// Designs a linear-phase FIR approximating the combined device magnitude
 /// response (frequency-sampling method: sample |H(f)| on a dense grid,
 /// Hermitian inverse real FFT, center, window).
+///
+/// The design is a pure function of the two devices, the sample rate and
+/// the tap count, and a trial constructs two links per packet — so the
+/// result is memoized per thread under a bit-exact key (like the static
+/// multipath FIR, DESIGN.md §9): re-running with unchanged inputs (e.g.
+/// the per-bitrate link rebuilds of `fig12d`, or repeated benches) skips
+/// the 2049-bin response sweep and the inverse transform entirely.
 pub fn design_device_fir(tx: &Device, rx: &Device, fs: f64, taps: usize) -> Vec<f64> {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::rc::Rc;
+    type DeviceFirKey = (Device, Device, u64, usize);
+    thread_local! {
+        static CACHE: RefCell<HashMap<DeviceFirKey, Rc<Vec<f64>>>> = RefCell::new(HashMap::new());
+    }
+    CACHE.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry((*tx, *rx, fs.to_bits(), taps))
+            .or_insert_with(|| Rc::new(design_device_fir_uncached(tx, rx, fs, taps)))
+            .as_ref()
+            .clone()
+    })
+}
+
+/// The uncached FIR design behind [`design_device_fir`].
+fn design_device_fir_uncached(tx: &Device, rx: &Device, fs: f64, taps: usize) -> Vec<f64> {
     use aqua_dsp::complex::Complex;
     use aqua_dsp::fft::real_planner;
     let n = 2048usize;

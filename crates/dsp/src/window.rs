@@ -41,6 +41,32 @@ impl Window {
     }
 }
 
+/// Kaiser-windowed sinc interpolation kernel: `sinc(x)` tapered by a
+/// Kaiser window of half-width `half_width` and shape `beta`, zero for
+/// `|x| >= half_width`.
+///
+/// This is the canonical fractional-delay kernel shared by the exact
+/// [`SincInterpolator`](crate::resample::SincInterpolator) and the
+/// table-driven [`PolyphaseKernel`](crate::polyphase::PolyphaseKernel):
+/// both evaluate exactly this expression (the caller passes
+/// `1 / bessel_i0(beta)` so the normalization is hoisted out of per-tap
+/// loops), which is what makes the polyphase table's on-grid rows
+/// bit-identical to the oracle's weights.
+pub fn kaiser_sinc(x: f64, half_width: f64, beta: f64, inv_i0_beta: f64) -> f64 {
+    if x.abs() >= half_width {
+        return 0.0;
+    }
+    let sinc = if x.abs() < 1e-12 {
+        1.0
+    } else {
+        let px = std::f64::consts::PI * x;
+        px.sin() / px
+    };
+    let r = x / half_width;
+    let window = bessel_i0(beta * (1.0 - r * r).max(0.0).sqrt()) * inv_i0_beta;
+    sinc * window
+}
+
 /// Modified Bessel function of the first kind, order zero, by power series.
 /// Converges quickly for the β ranges used in Kaiser windows (β ≤ 20).
 pub fn bessel_i0(x: f64) -> f64 {

@@ -1,0 +1,142 @@
+//! Equivalence suite pinning the table-driven [`PolyphaseKernel`] to the
+//! exact [`SincInterpolator`] oracle (ISSUE 5's contract): random phases,
+//! boundary/fade-in samples, prime lengths, band-limited accuracy, and the
+//! blocked ramp evaluators' bit-identity to per-sample lookups.
+
+use aqua_dsp::polyphase::PolyphaseKernel;
+use aqua_dsp::resample::{resample_const, sample_at, SincInterpolator};
+use proptest::prelude::*;
+
+/// A band-limited test signal inside the modem band (≤ ~4.2 kHz at
+/// 48 kHz): a sum of three tones with pseudo-random frequencies/phases.
+fn band_limited(len: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed | 1;
+    let mut rnd = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s as f64 / u64::MAX as f64
+    };
+    let (w1, w2, w3) = (0.05 + 0.5 * rnd(), 0.05 + 0.5 * rnd(), 0.05 + 0.5 * rnd());
+    let (p1, p2, p3) = (6.0 * rnd(), 6.0 * rnd(), 6.0 * rnd());
+    (0..len)
+        .map(|i| {
+            let t = i as f64;
+            (w1 * t + p1).sin() + 0.7 * (w2 * t + p2).sin() + 0.4 * (w3 * t + p3).cos()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On band-limited signals the shared table matches the oracle to
+    /// ≤ 1e-9 RMS over random interior + boundary phases — the "accuracy
+    /// stays at oracle level" bound from DESIGN.md §10.
+    #[test]
+    fn shared_table_matches_oracle_on_band_limited_signals(
+        len in 200usize..1200,
+        seed in 0u64..10_000,
+    ) {
+        let sig = band_limited(len, seed);
+        let kernel = PolyphaseKernel::shared();
+        let oracle = SincInterpolator::default();
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut rnd = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            s as f64 / u64::MAX as f64
+        };
+        let m = 400;
+        let mut sq = 0.0;
+        for _ in 0..m {
+            // spans [-2h, len + 2h): interior plus both fade regions plus
+            // fully-outside indices
+            let t = rnd() * (len as f64 + 64.0) - 32.0;
+            let e = kernel.sample(&sig, t) - oracle.sample(&sig, t);
+            sq += e * e;
+        }
+        prop_assert!((sq / m as f64).sqrt() <= 1e-9, "rms {}", (sq / m as f64).sqrt());
+    }
+
+    /// Worst-case per-sample error on arbitrary (white) signals stays
+    /// within the linear-phase-interpolation bound.
+    #[test]
+    fn shared_table_worst_case_error_is_bounded(
+        x in proptest::collection::vec(-1.0f64..1.0, 40..400),
+        phases in proptest::collection::vec(-0.2f64..1.2, 16),
+    ) {
+        let kernel = PolyphaseKernel::shared();
+        let oracle = SincInterpolator::default();
+        for (i, frac) in phases.iter().enumerate() {
+            let t = (i * x.len() / 16) as f64 + frac; // sweeps the signal incl. edges
+            let e = (kernel.sample(&x, t) - oracle.sample(&x, t)).abs();
+            prop_assert!(e < 1e-8, "t {t}: err {e}");
+        }
+    }
+
+    /// Prime-length signals and fade-in/fade-out windows: the boundary
+    /// slow path uses the same weights as the interior fast path.
+    #[test]
+    fn boundary_samples_match_oracle(seed in 0u64..5_000) {
+        for len in [2usize, 3, 5, 7, 31, 127, 251] {
+            let sig = band_limited(len, seed ^ len as u64);
+            let kernel = PolyphaseKernel::shared();
+            let oracle = SincInterpolator::default();
+            for k in 0..12 {
+                // straddle both ends, sub-sample offsets included
+                let t0 = -18.0 + k as f64 * 0.37;
+                let t1 = len as f64 + 18.0 - k as f64 * 0.61;
+                for t in [t0, t1] {
+                    let e = (kernel.sample(&sig, t) - oracle.sample(&sig, t)).abs();
+                    prop_assert!(e < 1e-8, "len {len} t {t}: err {e}");
+                }
+            }
+        }
+    }
+
+    /// `resample_const` (blocked ramp) is bit-identical to per-sample
+    /// table lookups and oracle-accurate for in-band content.
+    #[test]
+    fn resample_const_is_blocked_table_evaluation(
+        seed in 0u64..5_000,
+        rate in 0.97f64..1.03,
+    ) {
+        let sig = band_limited(613, seed); // prime length
+        let out = resample_const(&sig, rate);
+        let kernel = PolyphaseKernel::shared();
+        let oracle = SincInterpolator::default();
+        for (i, &v) in out.iter().enumerate() {
+            let t = i as f64 * rate;
+            prop_assert_eq!(v.to_bits(), kernel.sample(&sig, t).to_bits());
+            prop_assert!((v - oracle.sample(&sig, t)).abs() < 1e-8);
+        }
+    }
+
+    /// `sample_at` agrees with the oracle on arbitrary (finite) times.
+    #[test]
+    fn sample_at_matches_oracle(
+        seed in 0u64..5_000,
+        times in proptest::collection::vec(-40.0f64..700.0, 1..64),
+    ) {
+        let sig = band_limited(601, seed);
+        let out = sample_at(&sig, &times);
+        let oracle = SincInterpolator::default();
+        for (i, &t) in times.iter().enumerate() {
+            prop_assert!((out[i] - oracle.sample(&sig, t)).abs() < 1e-8);
+        }
+    }
+
+    /// Scattering taps with `add_tap` builds the same FIR the oracle's
+    /// kernel would, to the phase-interpolation bound.
+    #[test]
+    fn add_tap_matches_oracle_kernel(pos in 18.0f64..44.0, amp in -2.0f64..2.0) {
+        let kernel = PolyphaseKernel::shared();
+        let oracle = SincInterpolator::default();
+        let mut fir = vec![0.0; 64];
+        kernel.add_tap(&mut fir, pos, amp);
+        for (k, &w) in fir.iter().enumerate() {
+            let want = amp * oracle.kernel_at(k as f64 - pos);
+            prop_assert!((w - want).abs() < 3e-8 * amp.abs().max(1.0), "k {k}");
+        }
+    }
+}
