@@ -91,6 +91,37 @@ check_floor() {
 }
 check_floor "trials_per_second" 24.2
 
+echo "==> ocean simulator: oracle equivalence + parallel determinism suites"
+# The PR 6 contracts, run in release where the proptest case count is
+# cheap: the event-driven core must be bit-identical to netsim::simulate
+# on random <=6-node topologies, and bit-identical across 1/2/4-worker
+# pools on real deployments. (Debug `cargo test -q` above runs them too;
+# this names them so a red shows up next to the contract it broke.)
+cargo test -q -p aqua-mac --release --test ocean_equivalence --test ocean_determinism
+cargo test -q -p aqua-eval --release --test per_calibration
+
+echo "==> perf smoke: ocean_events_per_second (PR 6 event-driven core)"
+# One quick-size 150-node, 30-simulated-minute grid run per iteration:
+# ~76 ms mean on this container (~40 k events/s single-worker floor at
+# quick size; the 10 000-node full deployment sustains ~870 k events/s
+# as per-event costs amortize). Gate at ~4x slack: a regression to
+# per-slot scanning would cost >100x, not 4x.
+BENCH_OUT=$(cargo bench -p aqua-bench --bench ocean_events)
+echo "$BENCH_OUT"
+check_budget "ocean_events_per_second" 300
+
+echo "==> throughput smoke: repro ocean quick end-to-end under 60 s"
+# All three 10k-scaled-down deployments (grid/swarm/fleet at 150 nodes,
+# 30 simulated minutes): ~0.3 s typical; 60 s budget is container slack.
+START=$(date +%s)
+cargo run -q -p aqua-eval --release --bin repro -- ocean quick >/dev/null
+ELAPSED=$(($(date +%s) - START))
+if [ "$ELAPSED" -gt 60 ]; then
+  echo "throughput-smoke FAIL: repro ocean quick took ${ELAPSED}s (> 60 s)"
+  exit 1
+fi
+echo "throughput-smoke ok: repro ocean quick in ${ELAPSED}s (budget 60 s)"
+
 echo "==> throughput smoke: repro fig9 quick end-to-end under 60 s"
 START=$(date +%s)
 cargo run -q -p aqua-eval --release --bin repro -- fig9 quick >/dev/null

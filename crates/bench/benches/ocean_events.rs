@@ -1,0 +1,31 @@
+//! Event-driven ocean simulator throughput: wall-clock for one quick-size
+//! deployment run, the number `ci.sh` budgets so the 10 000-node, 24 h
+//! `repro ocean full` stays tractable (~9 M events per topology scale
+//! linearly from this). The iteration covers the whole pipeline —
+//! topology generation, spatial-hash neighbor lists, the event core, PER
+//! table and memoized sample-level overlap resolution — on one worker, so
+//! events/s = events / mean with no parallel speedup baked in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aqua_mac::ocean::{run_ocean, OceanConfig, TopologyKind};
+use aqua_par::Pool;
+
+fn ocean_events_per_second(c: &mut Criterion) {
+    // The `repro ocean quick` grid row: 150 nodes, 30 simulated minutes,
+    // ~3 k events and ~1 k transmissions per iteration.
+    let cfg = OceanConfig::deployment(TopologyKind::Grid, 150, 1800.0, 42);
+    let pool = Pool::new(1);
+    run_ocean(&cfg, &pool); // warm the calibration + probe render memos
+    c.bench_function("ocean_events_per_second", |b| {
+        b.iter(|| black_box(run_ocean(black_box(&cfg), &pool).events))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ocean_events_per_second
+}
+criterion_main!(benches);

@@ -19,6 +19,7 @@ pub mod characterization;
 pub mod engine;
 pub mod link_experiments;
 pub mod network;
+pub mod ocean;
 pub mod robustness;
 pub mod runner;
 pub mod table;
@@ -56,13 +57,15 @@ pub fn run_experiment(name: &str, size: RunSize) -> Option<String> {
         "detector" => robustness::detector_ablation(size),
         "latency" => link_experiments::latency(size),
         "delayspread" => characterization::delay_spread(),
+        "ocean" => ocean::ocean(size),
         _ => return None,
     })
 }
 
 /// All experiment names in paper order (fig12 covers Fig. 13 too;
-/// `detector` is this repo's added ablation).
-pub const ALL_EXPERIMENTS: [&str; 20] = [
+/// `detector` is this repo's added ablation and `ocean` the event-driven
+/// ocean-scale deployment study).
+pub const ALL_EXPERIMENTS: [&str; 21] = [
     "fig3a",
     "fig3b",
     "fig3cd",
@@ -83,4 +86,5 @@ pub const ALL_EXPERIMENTS: [&str; 20] = [
     "detector",
     "latency",
     "delayspread",
+    "ocean",
 ];

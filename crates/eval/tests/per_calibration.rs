@@ -1,0 +1,42 @@
+//! Cross-check between the ocean simulator's analytic PER table and the
+//! sample-level trial engine it was calibrated from: a real packet series
+//! at a recorded knot distance must land inside the binomial 95 %
+//! confidence interval of the table value. This pins the table to the
+//! machinery that produced the recorded fig9/fig12 curves — if either
+//! drifts, the interval check fails.
+
+use aqua_channel::environments::{Environment, Site};
+use aqua_channel::geometry::Pos;
+use aqua_eval::runner::packet_series;
+use aqua_mac::ocean::{Band, PerTable};
+use aquapp::trial::TrialConfig;
+
+/// Binomial 95 % CI half-width with a continuity correction (the ±1/2n
+/// that keeps the interval honest when p̂ hits 0 or 1 exactly).
+fn ci_halfwidth(p_hat: f64, n: usize) -> f64 {
+    1.96 * (p_hat * (1.0 - p_hat) / n as f64).sqrt() + 1.0 / (2.0 * n as f64)
+}
+
+#[test]
+fn sample_level_trials_at_knot_distance_agree_with_table() {
+    // The 5 m lake knot of the adaptive-band curve (recorded PER 0 % in
+    // fig9d/fig12). Same geometry as the fig12 series, static phones.
+    let n = 40; // the `standard` series size the curves were recorded at
+    let stats = packet_series(n, |seed| {
+        TrialConfig::standard(
+            Environment::preset(Site::Lake),
+            Pos::new(0.0, 0.0, 1.0),
+            Pos::new(5.0, 0.0, 1.0),
+            61_000 + seed,
+        )
+    });
+    let table = PerTable::recorded().per(Band::Adaptive, 5.0);
+    let halfwidth = ci_halfwidth(stats.per, n);
+    assert!(
+        (stats.per - table).abs() <= halfwidth,
+        "trial PER {:.3} vs table {:.3} at 5 m: outside 95% CI ±{:.3}",
+        stats.per,
+        table,
+        halfwidth
+    );
+}

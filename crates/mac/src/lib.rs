@@ -9,6 +9,9 @@
 //!   backoff in packet-duration multiples).
 //! - [`budget`]: link-budget gain matrices derived from the channel model,
 //!   feeding the slot-level simulator.
+//! - [`ocean`]: the event-driven ocean-scale simulator — bit-identical to
+//!   [`netsim`] on small dense configs (the oracle-equivalence contract),
+//!   and the engine behind the 10 000-node `repro ocean` deployments.
 //!
 //! [`preamble_cs`] implements the preamble-detection-based carrier sense
 //! the paper lists as an improvement in §2.4 (it defers only on actual
@@ -21,6 +24,7 @@
 pub mod budget;
 pub mod carrier;
 pub mod netsim;
+pub mod ocean;
 pub mod preamble_cs;
 
 pub use carrier::{band_energy, calibrate_threshold, CarrierSense};

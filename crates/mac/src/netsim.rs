@@ -207,18 +207,21 @@ pub fn collision_stats(tx_times: &[Vec<f64>], packet_duration_s: f64) -> (f64, V
     }
     let total = all.len().max(1);
     let frac = collided.iter().filter(|&&c| c).count() as f64 / total as f64;
-    let mut per_tx = vec![0.0; tx_times.len()];
-    for (tx, fractions) in per_tx.iter_mut().enumerate() {
-        let mine: Vec<usize> = all
-            .iter()
-            .enumerate()
-            .filter(|(_, (t, _))| *t == tx)
-            .map(|(i, _)| i)
-            .collect();
-        if !mine.is_empty() {
-            *fractions = mine.iter().filter(|&&i| collided[i]).count() as f64 / mine.len() as f64;
+    // Per-transmitter fractions in one pass over the sorted list (this
+    // used to re-scan the full list once per transmitter, O(N·T)).
+    let mut sent = vec![0usize; tx_times.len()];
+    let mut hit = vec![0usize; tx_times.len()];
+    for (i, &(tx, _)) in all.iter().enumerate() {
+        sent[tx] += 1;
+        if collided[i] {
+            hit[tx] += 1;
         }
     }
+    let per_tx = sent
+        .iter()
+        .zip(&hit)
+        .map(|(&s, &h)| if s == 0 { 0.0 } else { h as f64 / s as f64 })
+        .collect();
     (frac, per_tx)
 }
 
@@ -316,6 +319,82 @@ mod tests {
         let times = vec![vec![0.0, 0.3]];
         let (f, _) = collision_stats(&times, 0.55);
         assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn collision_stats_edge_cases() {
+        // empty schedules: zero fractions, one per-tx slot each
+        let (f, per) = collision_stats(&[vec![], vec![]], 0.55);
+        assert_eq!(f, 0.0);
+        assert_eq!(per, vec![0.0, 0.0]);
+        let (f, per) = collision_stats(&[], 0.55);
+        assert_eq!(f, 0.0);
+        assert!(per.is_empty());
+        // zero packet duration: nothing can overlap, even identical times
+        let (f, per) = collision_stats(&[vec![1.0, 1.0], vec![1.0]], 0.0);
+        assert_eq!(f, 0.0);
+        assert_eq!(per, vec![0.0, 0.0]);
+        // single node: self-overlap is never a collision
+        let (f, per) = collision_stats(&[vec![0.0, 0.1, 0.2]], 0.55);
+        assert_eq!(f, 0.0);
+        assert_eq!(per, vec![0.0]);
+        // simultaneous timestamps across transmitters all collide
+        let (f, per) = collision_stats(&[vec![2.0], vec![2.0], vec![2.0, 9.0]], 0.55);
+        assert!((f - 0.75).abs() < 1e-12, "{f}");
+        assert_eq!(per, vec![1.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn per_tx_fractions_match_slow_reference() {
+        // The single-pass per-tx accounting must agree with the direct
+        // per-transmitter rescan it replaced, bit for bit.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..5);
+            let tx_times: Vec<Vec<f64>> = (0..n)
+                .map(|_| {
+                    (0..rng.gen_range(0..10))
+                        .map(|_| rng.gen_range(0.0..6.0))
+                        .collect()
+                })
+                .collect();
+            let (_, per) = collision_stats(&tx_times, 0.55);
+            let mut all: Vec<(usize, f64)> = Vec::new();
+            for (tx, times) in tx_times.iter().enumerate() {
+                for &t in times {
+                    all.push((tx, t));
+                }
+            }
+            all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let mut collided = vec![false; all.len()];
+            for i in 0..all.len() {
+                for j in i + 1..all.len() {
+                    if all[j].1 - all[i].1 >= 0.55 {
+                        break;
+                    }
+                    if all[i].0 != all[j].0 {
+                        collided[i] = true;
+                        collided[j] = true;
+                    }
+                }
+            }
+            for (tx, want) in per.iter().enumerate() {
+                let mine: Vec<usize> = all
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (t, _))| *t == tx)
+                    .map(|(i, _)| i)
+                    .collect();
+                let reference = if mine.is_empty() {
+                    0.0
+                } else {
+                    mine.iter().filter(|&&i| collided[i]).count() as f64 / mine.len() as f64
+                };
+                assert_eq!(want.to_bits(), reference.to_bits(), "tx {tx}");
+            }
+        }
     }
 
     #[test]

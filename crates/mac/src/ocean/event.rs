@@ -1,0 +1,659 @@
+//! Event-driven core of the ocean-scale simulator.
+//!
+//! [`crate::netsim::simulate`] steps *every node through every 80 ms slot*
+//! and recomputes every node's sensed energy per slot — O(slots × n²),
+//! fine for the paper's 2–3 transmitter dive site, hopeless for a
+//! simulated ocean. This module re-expresses the **same state machine** as
+//! events on a binary heap: a node is only touched at the slots where the
+//! slot-stepped simulator would actually *change its state or draw from
+//! the RNG* (wait expiry, backoff ticks, transmission end), and sensed
+//! energy is answered from per-node transmission-interval histories
+//! instead of a global per-slot scan.
+//!
+//! **Oracle equivalence.** On the dense gain-matrix inputs of
+//! [`crate::netsim::simulate`], [`simulate_events`] is **bit-identical** to
+//! the slot-stepped oracle: same `tx_times`, same collision stats, same
+//! `duration_s`. That holds because
+//!
+//! - the event heap is keyed `(slot, node, kind)`, so decisions are made
+//!   in exactly the oracle's slot-major, node-index-minor order, and the
+//!   single shared `StdRng` is therefore consumed in the same sequence;
+//! - a transmission started at slot `s` with end slot `u` is audible at
+//!   slots `t` with `s < t < u` — the oracle's start-of-slot snapshot
+//!   semantics (the starting slot itself and the end slot are silent);
+//! - sensed power is accumulated as `noise + Σ gains` over transmitter
+//!   indices in ascending order, the oracle's exact float summation order;
+//! - a state set at slot `t` is first acted on at slot `max(when, t+1)`,
+//!   matching the oracle's examine-next-slot behavior.
+//!
+//! The equivalence is pinned by the property suite in
+//! `mac/tests/ocean_equivalence.rs`.
+//!
+//! On top of the MAC state machine the core supports the ocean extensions
+//! through [`SimHooks`]: per-node destinations, propagation-delay-adjusted
+//! reception windows (scheduled as extra heap events after the packet has
+//! fully arrived), and interference capture for the PHY dispatch layer
+//! ([`crate::ocean::phy`]). In oracle mode the hooks are inert and the
+//! extensions vanish.
+
+use crate::netsim::{collision_stats, MacConfig, MacResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Sound speed used for propagation-delay-adjusted arrival times (m/s).
+pub const SOUND_SPEED: f64 = 1500.0;
+
+/// How a receiver hears the rest of the network.
+///
+/// The dense oracle mode wraps the full gain matrix; the ocean mode backs
+/// this with spatial-hash neighbor lists and an analytic range-gain fit.
+pub trait Medium {
+    /// Number of nodes.
+    fn nodes(&self) -> usize;
+    /// In-band ambient noise power at receiver `rx`.
+    fn noise_floor(&self, rx: usize) -> f64;
+    /// Candidate transmitters audible at `rx`, in strictly ascending node
+    /// index, excluding `rx` itself. Sensed power is accumulated in this
+    /// order, which the oracle equivalence relies on.
+    fn neighbors_of(&self, rx: usize) -> &[u32];
+    /// Sensed linear power at `rx` while `tx` transmits (transmit power
+    /// already folded in).
+    fn gain(&self, tx: usize, rx: usize) -> f64;
+}
+
+/// Dense-matrix medium: the exact inputs of [`crate::netsim::simulate`].
+#[derive(Debug, Clone)]
+pub struct DenseMedium {
+    gains: Vec<Vec<f64>>,
+    noise: Vec<f64>,
+    neighbors: Vec<Vec<u32>>,
+}
+
+impl DenseMedium {
+    /// Wraps `gains[i][j]` (linear power gain from transmitter `i` to node
+    /// `j`, diagonal unused) and per-node noise floors.
+    pub fn new(gains: Vec<Vec<f64>>, noise: Vec<f64>) -> Self {
+        let n = gains.len();
+        assert!(n >= 1 && noise.len() == n);
+        let neighbors = (0..n)
+            .map(|i| (0..n as u32).filter(|&j| j as usize != i).collect())
+            .collect();
+        Self {
+            gains,
+            noise,
+            neighbors,
+        }
+    }
+}
+
+impl Medium for DenseMedium {
+    fn nodes(&self) -> usize {
+        self.gains.len()
+    }
+    fn noise_floor(&self, rx: usize) -> f64 {
+        self.noise[rx]
+    }
+    fn neighbors_of(&self, rx: usize) -> &[u32] {
+        &self.neighbors[rx]
+    }
+    fn gain(&self, tx: usize, rx: usize) -> f64 {
+        self.gains[tx][rx]
+    }
+}
+
+/// One interfering transmission overlapping a reception window.
+#[derive(Debug, Clone, Copy)]
+pub struct Interferer {
+    /// Interfering transmitter.
+    pub node: u32,
+    /// Sensed linear power of the interferer at the destination.
+    pub power: f64,
+    /// Length of the overlap with the reception window (seconds).
+    pub overlap_s: f64,
+}
+
+/// A completed reception window at a destination, emitted once the packet
+/// plus its propagation delay has fully arrived.
+#[derive(Debug, Clone)]
+pub struct Reception {
+    /// Transmitting node.
+    pub tx: u32,
+    /// Destination node.
+    pub dest: u32,
+    /// MAC-level transmission start time (seconds).
+    pub start_s: f64,
+    /// First-sample arrival time at the destination (seconds).
+    pub arrival_s: f64,
+    /// MAC access delay the packet paid before its transmission started
+    /// (carrier-sense backoff; 0 without carrier sense).
+    pub access_delay_s: f64,
+    /// Whether the destination was itself transmitting during the window
+    /// (half-duplex loss).
+    pub dest_busy: bool,
+    /// Transmissions from other nodes overlapping the window at the
+    /// destination, ascending node index.
+    pub interferers: Vec<Interferer>,
+}
+
+/// Scenario hooks layered over the MAC state machine. The oracle mode
+/// uses the inert defaults; the ocean mode supplies destinations,
+/// propagation delays and stats sinks.
+pub trait SimHooks {
+    /// Destination node for `node`'s packets (`None`: broadcast-only, no
+    /// reception tracking — the oracle mode).
+    fn dest(&self, node: usize) -> Option<u32> {
+        let _ = node;
+        None
+    }
+    /// One-way propagation delay between two nodes (seconds).
+    fn prop_delay_s(&self, tx: usize, rx: usize) -> f64 {
+        let _ = (tx, rx);
+        0.0
+    }
+    /// Upper bound on [`SimHooks::prop_delay_s`] over pairs that can
+    /// interact (sizes the history prune horizon).
+    fn max_prop_delay_s(&self) -> f64 {
+        0.0
+    }
+    /// A packet transmission started at `t_s` after `access_delay_s` of
+    /// carrier-sense backoff.
+    fn on_transmit(&mut self, node: usize, t_s: f64, access_delay_s: f64);
+    /// A reception window closed at the destination.
+    fn on_reception(&mut self, rx: Reception) {
+        let _ = rx;
+    }
+}
+
+/// Aggregate facts about one event-driven run.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreStats {
+    /// Total simulated time, matching the oracle's `duration_s`.
+    pub duration_s: f64,
+    /// Heap events processed.
+    pub events: u64,
+    /// Peak event-heap length (memory-bound witness).
+    pub peak_heap: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NState {
+    Waiting { when: u64 },
+    Backoff { rem: u64 },
+    Transmitting { until: u64 },
+    Done,
+}
+
+struct NodeCtx {
+    state: NState,
+    sent: usize,
+    /// Slot at which the current wait was meant to end (access-delay base).
+    intended: u64,
+    /// Recent transmissions as `(start_slot, until_slot)`, oldest first.
+    /// Disjoint and ascending; pruned to the reception-window horizon.
+    history: VecDeque<(u64, u64)>,
+}
+
+const KIND_STATE: u8 = 0;
+const KIND_RESOLVE: u8 = 1;
+
+/// Heap event. Ordering is `(slot, node, kind, seq)` — slot-major and
+/// node-index-minor inside a slot, the oracle's processing order.
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    slot: u64,
+    node: u32,
+    kind: u8,
+    seq: u64,
+    /// Resolve payload: transmission start slot.
+    start_slot: u64,
+    /// Resolve payload: access delay of that transmission (seconds).
+    access_s: f64,
+}
+
+impl Ev {
+    fn key(&self) -> (u64, u32, u8, u64) {
+        (self.slot, self.node, self.kind, self.seq)
+    }
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// The event-driven MAC core, generic over medium and scenario hooks.
+pub struct EventCore<'a, M: Medium, H: SimHooks> {
+    cfg: &'a MacConfig,
+    medium: &'a M,
+    hooks: &'a mut H,
+    rng: StdRng,
+    nodes: Vec<NodeCtx>,
+    heap: BinaryHeap<Reverse<Ev>>,
+    packet_slots: u64,
+    /// History entries with `until_slot < now - prune_h` can no longer
+    /// overlap any pending reception window and are dropped.
+    prune_h: u64,
+    seq: u64,
+    events: u64,
+    peak_heap: usize,
+}
+
+impl<'a, M: Medium, H: SimHooks> EventCore<'a, M, H> {
+    /// Builds the core and seeds the initial-delay events (consuming the
+    /// same leading RNG draws, in node order, as the oracle).
+    pub fn new(cfg: &'a MacConfig, medium: &'a M, hooks: &'a mut H, seed: u64) -> Self {
+        let n = medium.nodes();
+        assert!(n >= 1, "simulation needs at least one node");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let packet_slots = (cfg.packet_duration_s / cfg.slot_s).ceil() as u64;
+        // Horizon: a pending reception window reaches back at most one
+        // packet duration plus two propagation delays (tx→dest and
+        // interferer→dest) from the current slot, with slack for the
+        // ceil-quantized resolve slot.
+        let prune_h = packet_slots
+            + 3
+            + ((cfg.packet_duration_s + 2.0 * hooks.max_prop_delay_s()) / cfg.slot_s).ceil() as u64;
+        let mut heap = BinaryHeap::new();
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let when = to_slots(cfg.initial_delay_s, cfg.slot_s, &mut rng);
+            nodes.push(NodeCtx {
+                state: NState::Waiting { when },
+                sent: 0,
+                intended: when,
+                history: VecDeque::new(),
+            });
+            heap.push(Reverse(Ev {
+                slot: when,
+                node: i as u32,
+                kind: KIND_STATE,
+                seq: 0,
+                start_slot: 0,
+                access_s: 0.0,
+            }));
+        }
+        let peak_heap = heap.len();
+        Self {
+            cfg,
+            medium,
+            hooks,
+            rng,
+            nodes,
+            heap,
+            packet_slots,
+            prune_h,
+            seq: 0,
+            events: 0,
+            peak_heap,
+        }
+    }
+
+    /// Runs to completion or to the `max_slots` horizon (the oracle's
+    /// safety cap; the ocean mode's simulated duration). Reception windows
+    /// already in flight at the horizon are still resolved against the
+    /// frozen transmission histories.
+    pub fn run(mut self, max_slots: u64) -> CoreStats {
+        let mut last_slot = 0u64;
+        let mut capped = false;
+        loop {
+            let slot = match self.heap.peek() {
+                Some(Reverse(ev)) => ev.slot,
+                None => break,
+            };
+            if slot >= max_slots {
+                capped = true;
+                break;
+            }
+            let Reverse(ev) = self.heap.pop().expect("peeked event");
+            self.events += 1;
+            last_slot = ev.slot;
+            match ev.kind {
+                KIND_STATE => self.process_state(ev.slot, ev.node as usize),
+                _ => self.process_resolve(ev.node as usize, ev.start_slot, ev.access_s),
+            }
+            self.peak_heap = self.peak_heap.max(self.heap.len());
+        }
+        if capped {
+            // MAC activity stops at the horizon, but packets fully
+            // transmitted before it still complete their flight.
+            while let Some(Reverse(ev)) = self.heap.pop() {
+                if ev.kind == KIND_RESOLVE {
+                    self.events += 1;
+                    self.process_resolve(ev.node as usize, ev.start_slot, ev.access_s);
+                }
+            }
+        }
+        let duration_s = if capped {
+            max_slots as f64 * self.cfg.slot_s
+        } else {
+            (last_slot + 1) as f64 * self.cfg.slot_s
+        };
+        CoreStats {
+            duration_s,
+            events: self.events,
+            peak_heap: self.peak_heap,
+        }
+    }
+
+    fn push_state(&mut self, slot: u64, node: usize) {
+        self.heap.push(Reverse(Ev {
+            slot,
+            node: node as u32,
+            kind: KIND_STATE,
+            seq: 0,
+            start_slot: 0,
+            access_s: 0.0,
+        }));
+    }
+
+    /// Was `node` audible at slot `t`? True iff it has a transmission with
+    /// `start < t < until` — the oracle's start-of-slot snapshot rule.
+    fn active_at(&self, node: usize, t: u64) -> bool {
+        for &(s, u) in self.nodes[node].history.iter().rev() {
+            if s < t {
+                return t < u;
+            }
+        }
+        false
+    }
+
+    /// The oracle's sensed-energy test: noise plus the gains of active
+    /// neighbors accumulated in ascending node index, against the margin.
+    fn busy(&self, node: usize, t: u64) -> bool {
+        let noise = self.medium.noise_floor(node);
+        let mut p = noise;
+        for &j in self.medium.neighbors_of(node) {
+            let j = j as usize;
+            if self.active_at(j, t) {
+                p += self.medium.gain(j, node);
+            }
+        }
+        p > noise * self.cfg.threshold_margin
+    }
+
+    fn process_state(&mut self, t: u64, i: usize) {
+        match self.nodes[i].state {
+            NState::Waiting { when } => {
+                debug_assert!(t >= when);
+                let busy = self.busy(i, t);
+                if self.cfg.carrier_sense && busy {
+                    let packets: u32 = self
+                        .rng
+                        .gen_range(self.cfg.cs_backoff_packets.0..=self.cfg.cs_backoff_packets.1);
+                    self.nodes[i].state = NState::Backoff {
+                        rem: packets as u64 * self.packet_slots,
+                    };
+                    self.push_state(t + 1, i);
+                } else {
+                    self.start_tx(i, t);
+                }
+            }
+            NState::Backoff { rem } => {
+                let busy = self.busy(i, t);
+                let mut rem = rem.saturating_sub(1);
+                if busy && rem < self.packet_slots {
+                    rem += self.packet_slots;
+                }
+                if rem == 0 {
+                    if busy {
+                        rem = self.packet_slots;
+                    } else {
+                        self.start_tx(i, t);
+                        return;
+                    }
+                }
+                self.nodes[i].state = NState::Backoff { rem };
+                self.push_state(t + 1, i);
+            }
+            NState::Transmitting { until } => {
+                debug_assert!(t >= until);
+                if self.nodes[i].sent >= self.cfg.max_packets {
+                    self.nodes[i].state = NState::Done;
+                } else {
+                    let when =
+                        t + to_slots(self.cfg.inter_packet_gap_s, self.cfg.slot_s, &mut self.rng);
+                    self.nodes[i].state = NState::Waiting { when };
+                    self.nodes[i].intended = when;
+                    self.push_state(when.max(t + 1), i);
+                }
+            }
+            NState::Done => unreachable!("Done nodes schedule no events"),
+        }
+    }
+
+    fn start_tx(&mut self, i: usize, t: u64) {
+        let t_s = t as f64 * self.cfg.slot_s;
+        let access_s = (t - self.nodes[i].intended) as f64 * self.cfg.slot_s;
+        self.hooks.on_transmit(i, t_s, access_s);
+        self.nodes[i].sent += 1;
+        let until = t + self.packet_slots;
+        self.nodes[i].state = NState::Transmitting { until };
+        self.push_state(until.max(t + 1), i);
+        // Record the audible interval and prune entries no pending
+        // reception window can reach.
+        self.nodes[i].history.push_back((t, until));
+        let horizon = t.saturating_sub(self.prune_h);
+        while self.nodes[i].history.len() > 1 {
+            match self.nodes[i].history.front() {
+                Some(&(_, u)) if u < horizon => {
+                    self.nodes[i].history.pop_front();
+                }
+                _ => break,
+            }
+        }
+        // Schedule the reception resolve after the packet has fully
+        // arrived at the destination (propagation-delay-adjusted).
+        if let Some(d) = self.hooks.dest(i) {
+            if d as usize != i {
+                let prop = self.hooks.prop_delay_s(i, d as usize);
+                let window_end = t_s + prop + self.cfg.packet_duration_s;
+                let resolve_slot = (window_end / self.cfg.slot_s).ceil() as u64 + 1;
+                self.seq += 1;
+                self.heap.push(Reverse(Ev {
+                    slot: resolve_slot,
+                    node: i as u32,
+                    kind: KIND_RESOLVE,
+                    seq: self.seq,
+                    start_slot: t,
+                    access_s,
+                }));
+            }
+        }
+    }
+
+    /// Closes the reception window of `i`'s transmission started at
+    /// `start_slot`: captures half-duplex state and every overlapping
+    /// interferer at the destination, then hands off to the hooks.
+    fn process_resolve(&mut self, i: usize, start_slot: u64, access_s: f64) {
+        let d = self.hooks.dest(i).expect("resolve implies dest") as usize;
+        let dur = self.cfg.packet_duration_s;
+        let start_s = start_slot as f64 * self.cfg.slot_s;
+        let prop = self.hooks.prop_delay_s(i, d);
+        let (a, b) = (start_s + prop, start_s + prop + dur);
+        // Half-duplex: the destination cannot receive while transmitting.
+        let dest_busy = self.nodes[d].history.iter().any(|&(s, _)| {
+            let s_s = s as f64 * self.cfg.slot_s;
+            s_s < b && a < s_s + dur
+        });
+        let mut interferers = Vec::new();
+        for &j in self.medium.neighbors_of(d) {
+            let j = j as usize;
+            if j == i {
+                continue;
+            }
+            let pd = self.hooks.prop_delay_s(j, d);
+            let mut power = 0.0;
+            let mut overlap = 0.0f64;
+            for &(s, _) in self.nodes[j].history.iter() {
+                let aj = s as f64 * self.cfg.slot_s + pd;
+                let bj = aj + dur;
+                if aj < b && a < bj {
+                    power = self.medium.gain(j, d);
+                    overlap += b.min(bj) - a.max(aj);
+                }
+            }
+            if power > 0.0 && overlap > 0.0 {
+                interferers.push(Interferer {
+                    node: j as u32,
+                    power,
+                    overlap_s: overlap.min(dur),
+                });
+            }
+        }
+        self.hooks.on_reception(Reception {
+            tx: i as u32,
+            dest: d as u32,
+            start_s,
+            arrival_s: a,
+            access_delay_s: access_s,
+            dest_busy,
+            interferers,
+        });
+    }
+}
+
+/// The oracle's `to_slots`: a uniform draw in seconds, rounded up to whole
+/// slots. Bit-for-bit the same draw and conversion as the slot-stepped
+/// simulator.
+fn to_slots(range: (f64, f64), slot_s: f64, rng: &mut StdRng) -> u64 {
+    let s: f64 = rng.gen_range(range.0..=range.1);
+    (s / slot_s).ceil() as u64
+}
+
+/// Inert hooks for the oracle mode: collect transmission start times only.
+struct OracleHooks {
+    tx_times: Vec<Vec<f64>>,
+}
+
+impl SimHooks for OracleHooks {
+    fn on_transmit(&mut self, node: usize, t_s: f64, _access_delay_s: f64) {
+        self.tx_times[node].push(t_s);
+    }
+}
+
+/// Event-driven drop-in for [`crate::netsim::simulate`]: same inputs, same
+/// outputs, bit for bit — but O(events) instead of O(slots × n²).
+///
+/// The oracle's 1 M-slot safety cap is reproduced so capped runs truncate
+/// identically. Pinned by the `mac/tests/ocean_equivalence.rs` property
+/// suite.
+pub fn simulate_events(
+    cfg: &MacConfig,
+    gains: &[Vec<f64>],
+    noise_floor: &[f64],
+    seed: u64,
+) -> MacResult {
+    let medium = DenseMedium::new(gains.to_vec(), noise_floor.to_vec());
+    let mut hooks = OracleHooks {
+        tx_times: vec![Vec::new(); medium.nodes()],
+    };
+    let stats = EventCore::new(cfg, &medium, &mut hooks, seed).run(1_000_000);
+    let (collision_fraction, per_tx) = collision_stats(&hooks.tx_times, cfg.packet_duration_s);
+    MacResult {
+        tx_times: hooks.tx_times,
+        collision_fraction,
+        per_tx_collision_fraction: per_tx,
+        duration_s: stats.duration_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netsim::simulate;
+
+    fn easy(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        (vec![vec![1e-4; n]; n], vec![1e-6; n])
+    }
+
+    fn assert_results_identical(a: &MacResult, b: &MacResult) {
+        assert_eq!(a.tx_times, b.tx_times);
+        assert_eq!(
+            a.collision_fraction.to_bits(),
+            b.collision_fraction.to_bits()
+        );
+        assert_eq!(
+            a.per_tx_collision_fraction.len(),
+            b.per_tx_collision_fraction.len()
+        );
+        for (x, y) in a
+            .per_tx_collision_fraction
+            .iter()
+            .zip(&b.per_tx_collision_fraction)
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.duration_s.to_bits(), b.duration_s.to_bits());
+    }
+
+    #[test]
+    fn matches_oracle_with_carrier_sense() {
+        let (g, nf) = easy(4);
+        let cfg = MacConfig {
+            max_packets: 25,
+            ..MacConfig::default()
+        };
+        for seed in [1, 7, 42] {
+            assert_results_identical(
+                &simulate_events(&cfg, &g, &nf, seed),
+                &simulate(&cfg, &g, &nf, seed),
+            );
+        }
+    }
+
+    #[test]
+    fn matches_oracle_without_carrier_sense() {
+        let (g, nf) = easy(3);
+        let cfg = MacConfig {
+            carrier_sense: false,
+            max_packets: 40,
+            ..MacConfig::default()
+        };
+        assert_results_identical(
+            &simulate_events(&cfg, &g, &nf, 9),
+            &simulate(&cfg, &g, &nf, 9),
+        );
+    }
+
+    #[test]
+    fn matches_oracle_with_hidden_terminal() {
+        let mut gains = vec![vec![1e-4; 3]; 3];
+        gains[0][1] = 1e-9;
+        gains[1][0] = 1e-9;
+        let noise = vec![1e-6; 3];
+        let cfg = MacConfig {
+            max_packets: 30,
+            ..MacConfig::default()
+        };
+        assert_results_identical(
+            &simulate_events(&cfg, &gains, &noise, 5),
+            &simulate(&cfg, &gains, &noise, 5),
+        );
+    }
+
+    #[test]
+    fn single_node_never_backs_off() {
+        let cfg = MacConfig {
+            max_packets: 5,
+            ..MacConfig::default()
+        };
+        let r = simulate_events(&cfg, &[vec![0.0]], &[1e-6], 3);
+        assert_eq!(r.tx_times[0].len(), 5);
+        assert_eq!(r.collision_fraction, 0.0);
+        assert_results_identical(&r, &simulate(&cfg, &[vec![0.0]], &[1e-6], 3));
+    }
+}

@@ -1,0 +1,90 @@
+//! Parallel ≡ serial regression for the ocean simulator, mirroring
+//! `eval/tests/determinism.rs`: the same deployment run on 1, 2 and 4
+//! workers (the `AQUA_PAR_THREADS` settings, here as explicit pools) must
+//! produce **bit-identical** results field by field. Work distribution
+//! decides wall-clock, never results: MAC decisions are serial by
+//! construction, and each reception outcome is a pure function of
+//! `(reception, seed)` resolved in item order.
+
+use aqua_mac::ocean::{run_ocean, OceanConfig, OceanResult, TopologyKind};
+use aqua_par::Pool;
+
+fn assert_result_identical(par: &OceanResult, ser: &OceanResult, threads: usize) {
+    let ctx = format!("{threads} threads");
+    assert_eq!(par.nodes, ser.nodes, "{ctx}");
+    assert_eq!(par.duration_s.to_bits(), ser.duration_s.to_bits(), "{ctx}");
+    assert_eq!(par.transmissions, ser.transmissions, "{ctx}");
+    assert_eq!(par.receptions, ser.receptions, "{ctx}");
+    assert_eq!(par.delivered, ser.delivered, "{ctx}");
+    assert_eq!(
+        par.delivery_rate.to_bits(),
+        ser.delivery_rate.to_bits(),
+        "{ctx}: delivery {} vs {}",
+        par.delivery_rate,
+        ser.delivery_rate
+    );
+    assert_eq!(par.dest_busy_losses, ser.dest_busy_losses, "{ctx}");
+    assert_eq!(par.overlap_receptions, ser.overlap_receptions, "{ctx}");
+    assert_eq!(
+        par.collision_fraction.to_bits(),
+        ser.collision_fraction.to_bits(),
+        "{ctx}: collisions {} vs {}",
+        par.collision_fraction,
+        ser.collision_fraction
+    );
+    assert_eq!(
+        par.latency_mean_s.to_bits(),
+        ser.latency_mean_s.to_bits(),
+        "{ctx}: latency mean"
+    );
+    assert_eq!(
+        par.latency_p50_s.to_bits(),
+        ser.latency_p50_s.to_bits(),
+        "{ctx}: latency p50"
+    );
+    assert_eq!(
+        par.latency_p90_s.to_bits(),
+        ser.latency_p90_s.to_bits(),
+        "{ctx}: latency p90"
+    );
+    assert_eq!(par.fairness.to_bits(), ser.fairness.to_bits(), "{ctx}");
+    assert_eq!(par.events, ser.events, "{ctx}");
+    assert_eq!(par.peak_heap, ser.peak_heap, "{ctx}");
+    assert_eq!(
+        par.peak_collision_window, ser.peak_collision_window,
+        "{ctx}"
+    );
+    assert_eq!(
+        par.mean_degree.to_bits(),
+        ser.mean_degree.to_bits(),
+        "{ctx}"
+    );
+}
+
+#[test]
+fn parallel_ocean_run_is_bit_identical_to_serial() {
+    // Dense swarm + small batch: many reception flushes per run, each
+    // fanned across workers with chunk size 1 to force real interleaving.
+    let mut cfg = OceanConfig::deployment(TopologyKind::Swarm, 48, 900.0, 11);
+    cfg.mac.inter_packet_gap_s = (20.0, 60.0); // contended enough to overlap
+    cfg.mac.initial_delay_s = (0.0, 30.0);
+    cfg.batch = 8;
+    let serial = run_ocean(&cfg, &Pool::new(1));
+    assert!(serial.receptions > 20, "workload too small: {serial:?}");
+    assert!(
+        serial.overlap_receptions > 0,
+        "no sample-level work exercised: {serial:?}"
+    );
+    for threads in [2usize, 4] {
+        let par = run_ocean(&cfg, &Pool::new(threads).with_chunk(1));
+        assert_result_identical(&par, &serial, threads);
+    }
+}
+
+#[test]
+fn grid_run_is_pool_invariant_too() {
+    let cfg = OceanConfig::deployment(TopologyKind::Grid, 49, 600.0, 5);
+    let serial = run_ocean(&cfg, &Pool::new(1));
+    let par = run_ocean(&cfg, &Pool::new(4).with_chunk(1));
+    assert_result_identical(&par, &serial, 4);
+}
