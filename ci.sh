@@ -100,6 +100,38 @@ echo "==> ocean simulator: oracle equivalence + parallel determinism suites"
 cargo test -q -p aqua-mac --release --test ocean_equivalence --test ocean_determinism
 cargo test -q -p aqua-eval --release --test per_calibration
 
+echo "==> bulk transfer: RS codec proptests + parser fuzz + end-to-end suite"
+# PR 7 contracts, run in release where the proptest case counts and the
+# 2 KB lake transfer are cheap: the RS(n, k) codec must survive random
+# erasure/error patterns up to the design distance, the packet/fragment
+# parsers must reject every corrupted bitstream, and a multi-kilobyte
+# payload must cross the lossy lake link bit-exact with forced packet
+# erasures (where the ARQ-only baseline provably cannot).
+cargo test -q -p aqua-coding --release --test rs_proptests
+cargo test -q -p aqua-proto --release --test packet_fuzz
+cargo test -q -p aquapp --release --test bulk_transfer
+
+echo "==> perf smoke: transfer_goodput (PR 7 bulk pipeline)"
+# One 480 B selective-repeat transfer (24 packet exchanges + block ACKs)
+# is ~142 ms on this container; the RS striping of 2 KB is ~0.25 ms.
+# Gate both at ~2-4x slack.
+BENCH_OUT=$(cargo bench -p aqua-bench --bench transfer_goodput)
+echo "$BENCH_OUT"
+check_budget "bulk_transfer_480b" 400
+check_budget "rs_stripe_2kb" 1
+
+echo "==> throughput smoke: repro transfer quick end-to-end under 60 s"
+# Goodput vs range at quick size (480 B x 4 ranges x 2 FEC modes): ~2 s
+# typical; 60 s budget is container slack.
+START=$(date +%s)
+cargo run -q -p aqua-eval --release --bin repro -- transfer quick >/dev/null
+ELAPSED=$(($(date +%s) - START))
+if [ "$ELAPSED" -gt 60 ]; then
+  echo "throughput-smoke FAIL: repro transfer quick took ${ELAPSED}s (> 60 s)"
+  exit 1
+fi
+echo "throughput-smoke ok: repro transfer quick in ${ELAPSED}s (budget 60 s)"
+
 echo "==> perf smoke: ocean_events_per_second (PR 6 event-driven core)"
 # One quick-size 150-node, 30-simulated-minute grid run per iteration:
 # ~76 ms mean on this container (~40 k events/s single-worker floor at

@@ -1,0 +1,71 @@
+//! Bulk-transfer pipeline cost: one windowed selective-repeat transfer of
+//! a 480-byte payload over a clean Bridge link — 24 full packet exchanges
+//! (16 data + 8 RS parity fragments) plus the tone-symbol block ACKs.
+//! This is the unit the `repro transfer` experiment scales by range and
+//! payload size, so a regression here multiplies straight into the
+//! goodput figures. The RS codec itself is also pinned standalone:
+//! striping 2 KB through RS(16, 12) is microseconds and must stay there.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aqua_channel::environments::{Environment, Site};
+use aqua_channel::geometry::Pos;
+use aqua_coding::rs::ReedSolomon;
+use aqua_proto::transfer::TransferParams;
+use aquapp::bulk::{run_bulk_transfer, BulkConfig};
+use aquapp::trial::TrialConfig;
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 197 + 31) as u8).collect()
+}
+
+fn bulk_transfer_480b(c: &mut Criterion) {
+    let cfg = BulkConfig {
+        base: TrialConfig::standard(
+            Environment::preset(Site::Bridge),
+            Pos::new(0.0, 0.0, 1.0),
+            Pos::new(5.0, 0.0, 1.0),
+            4242,
+        ),
+        params: TransferParams::default_rs(),
+        window: 12,
+        max_rounds: 8,
+    };
+    let data = payload(480);
+    c.bench_function("bulk_transfer_480b", |b| {
+        b.iter(|| {
+            let out = run_bulk_transfer(black_box(&cfg), black_box(&data));
+            assert!(out.delivered.is_some());
+            black_box(out.goodput_bps)
+        })
+    });
+}
+
+fn rs_stripe_2kb(c: &mut Criterion) {
+    let rs = ReedSolomon::new(16, 12);
+    let frags: Vec<Vec<u8>> = (0..12).map(|_| payload(30)).collect();
+    c.bench_function("rs_stripe_2kb", |b| {
+        b.iter(|| {
+            // ~2 KB: 6 generations of 12 × 30-byte fragments round-trip
+            for g in 0..6u8 {
+                let parity = rs.encode_stripes(black_box(&frags));
+                let mut slots: Vec<Option<Vec<u8>>> = frags.iter().cloned().map(Some).collect();
+                slots.extend(parity.into_iter().map(Some));
+                // erase a full parity budget's worth of fragments
+                for e in 0..4 {
+                    slots[(g as usize + 3 * e) % 16] = None;
+                }
+                let rows = rs.recover_stripes(&slots, 30).expect("within budget");
+                black_box(rows);
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bulk_transfer_480b, rs_stripe_2kb
+}
+criterion_main!(benches);

@@ -11,6 +11,8 @@
 //!   subcarrier interleaver.
 //! - [`differential`]: XOR differential coding across consecutive OFDM
 //!   symbols (mobility resilience).
+//! - [`rs`]: the Reed–Solomon outer erasure code striped across bulk
+//!   transfer packets (whole-packet losses; DESIGN.md §12).
 //! - [`crc`]: CRC-8/16 integrity checks for app-layer packets.
 //! - [`bits`]: bit/byte packing utilities.
 
@@ -22,7 +24,9 @@ pub mod conv;
 pub mod crc;
 pub mod differential;
 pub mod interleave;
+pub mod rs;
 pub mod viterbi;
 
 pub use conv::{encode as conv_encode, Rate};
+pub use rs::ReedSolomon;
 pub use viterbi::{decode_hard, decode_soft};

@@ -23,6 +23,7 @@ pub mod ocean;
 pub mod robustness;
 pub mod runner;
 pub mod table;
+pub mod transfer;
 
 pub use runner::RunSize;
 
@@ -58,14 +59,16 @@ pub fn run_experiment(name: &str, size: RunSize) -> Option<String> {
         "latency" => link_experiments::latency(size),
         "delayspread" => characterization::delay_spread(),
         "ocean" => ocean::ocean(size),
+        "transfer" => transfer::transfer(size),
         _ => return None,
     })
 }
 
 /// All experiment names in paper order (fig12 covers Fig. 13 too;
-/// `detector` is this repo's added ablation and `ocean` the event-driven
-/// ocean-scale deployment study).
-pub const ALL_EXPERIMENTS: [&str; 21] = [
+/// `detector` is this repo's added ablation, `ocean` the event-driven
+/// ocean-scale deployment study, and `transfer` the bulk file-transfer
+/// goodput study).
+pub const ALL_EXPERIMENTS: [&str; 22] = [
     "fig3a",
     "fig3b",
     "fig3cd",
@@ -87,4 +90,5 @@ pub const ALL_EXPERIMENTS: [&str; 21] = [
     "latency",
     "delayspread",
     "ocean",
+    "transfer",
 ];

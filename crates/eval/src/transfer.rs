@@ -1,0 +1,170 @@
+//! Bulk transfer experiment: goodput vs range on the Lake preset, with
+//! and without the Reed–Solomon outer erasure code (DESIGN.md §12).
+//!
+//! The paper's system moves 16-bit messages; this experiment measures
+//! what the same link sustains when the bulk pipeline ([`aquapp::bulk`])
+//! pushes a file through it — segmentation, selective-repeat windows,
+//! tone-symbol block ACKs, and (in the FEC rows) RS(16, 12) parity
+//! fragments that absorb packet erasures without retransmission rounds.
+//! At short range the channel is clean and the parity is pure overhead;
+//! as the range grows, packet losses mount and the parity absorbs them
+//! where selective repeat would otherwise spend extra rounds. (Persistent
+//! per-fragment losses, where ARQ alone can *never* finish, are pinned by
+//! the `bulk_transfer` acceptance tests; this table measures the natural
+//! channel.) Placed beside fig9's per-packet view of the same Lake link.
+
+use crate::engine;
+use crate::runner::RunSize;
+use crate::table::Table;
+use aqua_channel::environments::{Environment, Site};
+use aqua_channel::geometry::Pos;
+use aqua_proto::transfer::TransferParams;
+use aquapp::bulk::{run_bulk_transfer, BulkConfig, BulkOutcome};
+use aquapp::trial::TrialConfig;
+
+/// Ranges measured (m): from the clean short-range regime (parity is pure
+/// overhead) out to 30 m, where Lake packet losses force retransmission
+/// rounds in both modes.
+const RANGES_M: [f64; 4] = [5.0, 15.0, 25.0, 30.0];
+
+fn transfer_bytes(size: RunSize) -> usize {
+    match size {
+        RunSize::Quick => 480,
+        RunSize::Standard => 2048,
+        RunSize::Full => 4096,
+    }
+}
+
+fn transfers_per_point(size: RunSize) -> usize {
+    match size {
+        RunSize::Quick => 1,
+        RunSize::Standard => 3,
+        RunSize::Full => 5,
+    }
+}
+
+fn payload_bytes(len: usize, mut state: u64) -> Vec<u8> {
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+fn bulk_cfg(range_m: f64, params: TransferParams, seed: u64) -> BulkConfig {
+    BulkConfig {
+        base: TrialConfig::standard(
+            Environment::preset(Site::Lake),
+            Pos::new(0.0, 0.0, 1.0),
+            Pos::new(range_m, 0.0, 1.0),
+            seed,
+        ),
+        params,
+        window: 12,
+        max_rounds: 24,
+    }
+}
+
+struct Point {
+    delivered: usize,
+    total: usize,
+    goodput_sum: f64,
+    retrans_sum: f64,
+    airtime_sum: f64,
+}
+
+fn measure(range_m: f64, params: TransferParams, size: RunSize) -> Point {
+    let n = transfers_per_point(size);
+    let bytes = transfer_bytes(size);
+    let outs: Vec<BulkOutcome> = engine::global().par_map(n, |i| {
+        let data = payload_bytes(bytes, 0xF11E ^ (i as u64) << 8);
+        let cfg = bulk_cfg(range_m, params, 3000 + 77 * i as u64);
+        run_bulk_transfer(&cfg, &data)
+    });
+    let mut p = Point {
+        delivered: 0,
+        total: n,
+        goodput_sum: 0.0,
+        retrans_sum: 0.0,
+        airtime_sum: 0.0,
+    };
+    let min_packets = {
+        // fragments a lossless transfer would send
+        let plan = aqua_proto::transfer::TransferPlan::new(bytes, params);
+        plan.total_frags()
+    };
+    for o in &outs {
+        if o.delivered.is_some() {
+            p.delivered += 1;
+            p.goodput_sum += o.goodput_bps;
+        }
+        p.retrans_sum += o.packets_sent.saturating_sub(min_packets) as f64;
+        p.airtime_sum += o.airtime_s;
+    }
+    p
+}
+
+/// Goodput vs range for the bulk pipeline, RS outer code vs ARQ-only.
+pub fn transfer(size: RunSize) -> String {
+    let bytes = transfer_bytes(size);
+    let n = transfers_per_point(size);
+    let mut table = Table::new(
+        &format!("Bulk transfer — {bytes} B over Lake, {n} transfer(s) per point"),
+        &[
+            "range (m)",
+            "RS(16,12) goodput (bps)",
+            "RS delivered",
+            "RS retrans",
+            "ARQ-only goodput (bps)",
+            "ARQ delivered",
+            "ARQ retrans",
+        ],
+    );
+    let params = TransferParams::default_rs();
+    let rows: Vec<(f64, Point, Point)> = RANGES_M
+        .iter()
+        .map(|&r| {
+            (
+                r,
+                measure(r, params, size),
+                measure(r, params.without_fec(), size),
+            )
+        })
+        .collect();
+    for (range, rs, arq) in rows {
+        let gp = |p: &Point| {
+            if p.delivered > 0 {
+                format!("{:.0}", p.goodput_sum / p.delivered as f64)
+            } else {
+                "-".to_string()
+            }
+        };
+        table.row(vec![
+            format!("{range:.0}"),
+            gp(&rs),
+            format!("{}/{}", rs.delivered, rs.total),
+            format!("{:.1}", rs.retrans_sum / rs.total as f64),
+            gp(&arq),
+            format!("{}/{}", arq.delivered, arq.total),
+            format!("{:.1}", arq.retrans_sum / arq.total as f64),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_quick_produces_table() {
+        let report = transfer(RunSize::Quick);
+        assert!(report.contains("Bulk transfer"));
+        assert!(report.contains("RS(16,12)"));
+        // the short-range rows must actually deliver
+        assert!(report.contains("1/1"));
+    }
+}

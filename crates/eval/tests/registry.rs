@@ -54,7 +54,7 @@ fn registry_rejects_unknown_names() {
 fn registry_lists_every_paper_figure() {
     for required in [
         "fig3a", "fig3b", "fig3cd", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig12d",
-        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "preamble",
+        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "preamble", "transfer",
     ] {
         assert!(
             ALL_EXPERIMENTS.contains(&required),

@@ -1,9 +1,11 @@
 //! # aqua-proto
 //!
 //! The messaging layer of AquaApp: the 240-message diver hand-signal
-//! codebook in eight categories ([`messages`]), and the on-air packet
-//! formats ([`packet`]) — 16-bit two-signal message packets and FSK SOS
-//! beacons with 6-bit user IDs.
+//! codebook in eight categories ([`messages`]), the on-air packet formats
+//! ([`packet`]) — 16-bit two-signal message packets and FSK SOS beacons
+//! with 6-bit user IDs — and the bulk transfer layer ([`transfer`]):
+//! file/image segmentation across many packets with a Reed–Solomon outer
+//! erasure code and selective-repeat reassembly (DESIGN.md §12).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -11,6 +13,8 @@
 pub mod latency;
 pub mod messages;
 pub mod packet;
+pub mod transfer;
 
 pub use messages::{by_category, by_id, codebook, common_messages, Category, Message};
 pub use packet::{MessagePacket, SosBeacon};
+pub use transfer::{Fragment, Reassembler, TransferParams, TransferPlan};

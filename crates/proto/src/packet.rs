@@ -47,8 +47,13 @@ impl MessagePacket {
         value_to_bits(value, 16)
     }
 
-    /// Parses 16 payload bits. Returns `None` if the first slot is not a
-    /// valid message ID (decode error surfaced to the app).
+    /// Parses 16 payload bits. Returns `None` if either slot is not a valid
+    /// message ID (decode error surfaced to the app). The second slot must
+    /// be a valid ID or exactly [`NO_MESSAGE`] — the in-between values
+    /// (`MESSAGE_COUNT..NO_MESSAGE`) are unreachable from
+    /// [`MessagePacket::to_bits`] and
+    /// can only mean corruption, so they reject the packet rather than
+    /// silently coercing to a single-message parse.
     pub fn from_bits(bits: &[u8]) -> Option<Self> {
         if bits.len() != 16 {
             return None;
@@ -59,10 +64,14 @@ impl MessagePacket {
         if first as usize >= MESSAGE_COUNT {
             return None;
         }
-        Some(Self {
-            first,
-            second: (second != NO_MESSAGE && (second as usize) < MESSAGE_COUNT).then_some(second),
-        })
+        let second = if second == NO_MESSAGE {
+            None
+        } else if (second as usize) < MESSAGE_COUNT {
+            Some(second)
+        } else {
+            return None;
+        };
+        Some(Self { first, second })
     }
 }
 
@@ -167,6 +176,43 @@ mod tests {
     #[test]
     fn wrong_length_rejected() {
         assert_eq!(MessagePacket::from_bits(&[0; 8]), None);
+    }
+
+    #[test]
+    fn corrupted_second_id_rejected_not_coerced() {
+        // A bit flip can turn a valid second ID into MESSAGE_COUNT..0xFF;
+        // those values are unreachable from to_bits and must surface as a
+        // decode error, not parse as a single-message packet.
+        for second in MESSAGE_COUNT as u64..0xFF {
+            let bits = value_to_bits((17 << 8) | second, 16);
+            assert_eq!(
+                MessagePacket::from_bits(&bits),
+                None,
+                "second = {second} silently coerced"
+            );
+        }
+        // the exact sentinel still parses as a single-message packet
+        let bits = value_to_bits((17 << 8) | 0xFF, 16);
+        assert_eq!(
+            MessagePacket::from_bits(&bits),
+            Some(MessagePacket::single(17))
+        );
+    }
+
+    #[test]
+    fn corrupted_bits_roundtrip() {
+        // flip every single bit of a valid two-message packet: the parse
+        // either rejects or yields a packet that re-serializes to the
+        // corrupted bits (no lossy coercion anywhere)
+        let pkt = MessagePacket::pair(17, 203);
+        let bits = pkt.to_bits();
+        for i in 0..bits.len() {
+            let mut bad = bits.clone();
+            bad[i] ^= 1;
+            if let Some(parsed) = MessagePacket::from_bits(&bad) {
+                assert_eq!(parsed.to_bits(), bad, "lossy parse after flipping bit {i}");
+            }
+        }
     }
 
     #[test]
