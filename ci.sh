@@ -111,6 +111,18 @@ cargo test -q -p aqua-coding --release --test rs_proptests
 cargo test -q -p aqua-proto --release --test packet_fuzz
 cargo test -q -p aquapp --release --test bulk_transfer
 
+echo "==> fault injection: determinism + block-ACK fuzz + blackout acceptance"
+# PR 8 contracts, run in release where the fault-schedule proptests and
+# the 2 KB storm transfers are cheap: the same seed must reproduce the
+# same bursts/fades/blackouts sample-exact and an empty schedule must be
+# bit-identical to no schedule; corrupted/truncated block-ACK tone
+# streams must never parse (and never as a `done` ACK); and the adaptive
+# engine must carry a 2 KB payload bit-exact through a mid-transfer 30 s
+# blackout by suspend/probe/resume where the static engine's round
+# budget provably dies.
+cargo test -q -p aqua-channel --release --test fault_determinism
+cargo test -q -p aquapp --release --test ack_fuzz --test bulk_faults
+
 echo "==> perf smoke: transfer_goodput (PR 7 bulk pipeline)"
 # One 480 B selective-repeat transfer (24 packet exchanges + block ACKs)
 # is ~142 ms on this container; the RS striping of 2 KB is ~0.25 ms.
@@ -131,6 +143,19 @@ if [ "$ELAPSED" -gt 60 ]; then
   exit 1
 fi
 echo "throughput-smoke ok: repro transfer quick in ${ELAPSED}s (budget 60 s)"
+
+echo "==> throughput smoke: repro faults quick end-to-end under 60 s"
+# Fault-intensity ladder at quick size (480 B x 4 levels x 2 engines,
+# storm row suspends and probes through a 30 s blackout): ~3 s typical;
+# 60 s budget is container slack.
+START=$(date +%s)
+cargo run -q -p aqua-eval --release --bin repro -- faults quick >/dev/null
+ELAPSED=$(($(date +%s) - START))
+if [ "$ELAPSED" -gt 60 ]; then
+  echo "throughput-smoke FAIL: repro faults quick took ${ELAPSED}s (> 60 s)"
+  exit 1
+fi
+echo "throughput-smoke ok: repro faults quick in ${ELAPSED}s (budget 60 s)"
 
 echo "==> perf smoke: ocean_events_per_second (PR 6 event-driven core)"
 # One quick-size 150-node, 30-simulated-minute grid run per iteration:

@@ -31,11 +31,14 @@ fn bulk_transfer_480b(c: &mut Criterion) {
         params: TransferParams::default_rs(),
         window: 12,
         max_rounds: 8,
+        faults: None,
     };
     let data = payload(480);
     c.bench_function("bulk_transfer_480b", |b| {
         b.iter(|| {
-            let out = run_bulk_transfer(black_box(&cfg), black_box(&data));
+            // `faults: None` is the zero-fault path: the fault-injection
+            // seam must not move this off its existing budget
+            let out = run_bulk_transfer(black_box(&cfg), black_box(&data)).expect("valid config");
             assert!(out.delivered.is_some());
             black_box(out.goodput_bps)
         })

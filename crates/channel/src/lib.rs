@@ -18,6 +18,8 @@
 //!   (2.5 / 5.1 m/s², §3 mobility experiments).
 //! - [`link`]: the renderer — waveform in, microphone signal out, with
 //!   physical Doppler from time-varying path delays.
+//! - [`fault`]: deterministic fault injection — blackouts, shadowing
+//!   fades and impulsive burst trains on an absolute timeline (§13).
 //! - [`medium`]: multi-node superposition bus for network experiments.
 //! - [`environments`]: presets for the six sites plus in-air.
 
@@ -27,6 +29,7 @@
 pub mod absorption;
 pub mod device;
 pub mod environments;
+pub mod fault;
 pub mod geometry;
 pub mod link;
 pub mod medium;
@@ -35,6 +38,7 @@ pub mod noise;
 
 pub use device::{CaseKind, Device, DeviceModel};
 pub use environments::{Environment, Site};
+pub use fault::{FaultSchedule, FaultyLink};
 pub use geometry::Pos;
 pub use link::{Link, LinkConfig, SAMPLE_RATE};
 pub use medium::{Medium, NodeId};

@@ -145,6 +145,23 @@ impl Link {
     /// same instant `t0_s`: it begins with the propagation delay's silence
     /// and extends past the input by the channel's delay spread.
     pub fn transmit(&mut self, tx: &[f64], t0_s: f64) -> Vec<f64> {
+        self.transmit_with_faults(tx, t0_s, None)
+    }
+
+    /// [`Self::transmit`] with an optional fault schedule: fades and
+    /// blackouts attenuate the rendered **signal before noise is added**
+    /// (shadowing blocks the path, not the ambient sea — see
+    /// [`crate::fault`]), impulsive bursts add after it. The schedule is
+    /// evaluated at `fault_t0_s + t0_s` — `fault_t0_s` maps this link's
+    /// local clock onto the schedule's absolute timeline (a transfer
+    /// engine passes its session clock; [`crate::fault::FaultyLink`]
+    /// passes 0). With `None` this is exactly the plain transmit path.
+    pub fn transmit_with_faults(
+        &mut self,
+        tx: &[f64],
+        t0_s: f64,
+        faults: Option<(&crate::fault::FaultSchedule, f64)>,
+    ) -> Vec<f64> {
         if tx.is_empty() {
             return Vec::new();
         }
@@ -165,6 +182,9 @@ impl Link {
             self.render_moving(&x, t0_s)
         };
 
+        if let Some((sched, fault_t0_s)) = faults {
+            sched.apply_signal(&mut y, fault_t0_s + t0_s, self.cfg.fs);
+        }
         if self.cfg.noise {
             let noise = self.noise_gen.generate(y.len());
             for (o, n) in y.iter_mut().zip(noise) {
@@ -177,6 +197,9 @@ impl Link {
                 self.cfg.env.impulse_rate_hz,
                 self.cfg.env.impulse_peak,
             );
+        }
+        if let Some((sched, fault_t0_s)) = faults {
+            sched.add_bursts(&mut y, fault_t0_s + t0_s, self.cfg.fs);
         }
         y
     }

@@ -35,6 +35,99 @@ pub fn ack_timeout_s(params: &OfdmParams) -> f64 {
     ACK_TIMEOUT_SYMBOLS as f64 * params.symbol_duration_s()
 }
 
+/// Retry backoff exponent cap: timeouts never exceed `2^BACKOFF_CAP`
+/// times the base RTO (before the absolute ceiling).
+pub const BACKOFF_CAP: u32 = 6;
+
+/// RTT / loss estimator feeding an adaptive retransmission timeout:
+/// RFC 6298-style smoothed RTT and variance, capped exponential backoff
+/// on loss, and *decorrelated jitter* on the emitted waits so repeated
+/// retries of many senders (or many probe attempts of one sender) do not
+/// synchronize. Fully deterministic for a given seed and observation
+/// sequence — the timeout stream is part of the reproducibility contract.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt_s: Option<f64>,
+    rttvar_s: f64,
+    backoff: u32,
+    /// Previous emitted wait, the anchor of decorrelated jitter.
+    prev_wait_s: f64,
+    /// xorshift64 state for the jitter draws.
+    rng: u64,
+    min_rto_s: f64,
+    max_rto_s: f64,
+}
+
+impl RttEstimator {
+    /// A fresh estimator. `min_rto_s`/`max_rto_s` clamp every emitted
+    /// timeout; `seed` drives the jitter stream.
+    pub fn new(seed: u64, min_rto_s: f64, max_rto_s: f64) -> Self {
+        Self {
+            srtt_s: None,
+            rttvar_s: 0.0,
+            backoff: 0,
+            prev_wait_s: min_rto_s,
+            rng: seed | 1,
+            min_rto_s,
+            max_rto_s,
+        }
+    }
+
+    /// Records a measured round-trip time (a delivery was acknowledged):
+    /// RFC 6298 SRTT/RTTVAR update, and the loss backoff resets.
+    pub fn observe_rtt(&mut self, rtt_s: f64) {
+        match self.srtt_s {
+            None => {
+                self.srtt_s = Some(rtt_s);
+                self.rttvar_s = rtt_s / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar_s = 0.75 * self.rttvar_s + 0.25 * (srtt - rtt_s).abs();
+                self.srtt_s = Some(0.875 * srtt + 0.125 * rtt_s);
+            }
+        }
+        self.backoff = 0;
+        self.prev_wait_s = self.base_rto_s();
+    }
+
+    /// Records a loss (no ACK inside the window): the backoff exponent
+    /// grows, capped at [`BACKOFF_CAP`].
+    pub fn observe_loss(&mut self) {
+        self.backoff = (self.backoff + 1).min(BACKOFF_CAP);
+    }
+
+    /// Current backoff exponent.
+    pub fn backoff(&self) -> u32 {
+        self.backoff
+    }
+
+    /// The un-jittered retransmission timeout: `srtt + 4·rttvar` scaled
+    /// by the backoff, clamped to the configured bounds.
+    pub fn base_rto_s(&self) -> f64 {
+        let rto = match self.srtt_s {
+            Some(srtt) => srtt + 4.0 * self.rttvar_s,
+            None => self.min_rto_s,
+        };
+        (rto * f64::from(1u32 << self.backoff)).clamp(self.min_rto_s, self.max_rto_s)
+    }
+
+    /// Draws the next wait: decorrelated jitter, `uniform(base, 3·prev)`
+    /// clamped to `[base, max]`. Consecutive draws under sustained loss
+    /// grow geometrically toward the cap without ever synchronizing.
+    pub fn next_wait_s(&mut self) -> f64 {
+        let base = self.base_rto_s();
+        let hi = (self.prev_wait_s * 3.0).clamp(base, self.max_rto_s);
+        // xorshift64 → uniform in [0, 1)
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let u = (self.rng >> 11) as f64 / (1u64 << 53) as f64;
+        let wait = base + (hi - base) * u;
+        self.prev_wait_s = wait;
+        wait
+    }
+}
+
 /// Airtime of one transmission attempt, excluding the ACK phase: header +
 /// feedback gap, plus the data section when one was transmitted on a band
 /// of `band_bins` subcarriers.
@@ -139,10 +232,13 @@ impl ArqSession {
             // Bob's side: decoded payloads are delivered once per sequence
             // bit; a repeat of the just-delivered bit is a duplicate
             // (retransmission after a lost ACK) and only re-ACKed.
+            // Checked access: a decoded-but-empty bit vector must surface
+            // as "no sequence bit" (an undeliverable frame), never panic.
             let decoded_seq = trial
-                .packet_ok
-                .then(|| trial.bits.as_ref().map(|b| b[0]))
-                .flatten();
+                .bits
+                .as_ref()
+                .and_then(|b| b.first().copied())
+                .filter(|_| trial.packet_ok);
             let ok = trial.packet_ok;
             trials.push(trial);
             if let Some(rx_seq) = decoded_seq {
@@ -199,6 +295,44 @@ impl ArqSession {
             trials,
             airtime_s,
         }
+    }
+}
+
+impl ArqSession {
+    /// [`Self::send`] with adaptive retry pacing: the estimator's
+    /// RTO replaces the fixed [`ack_timeout_s`] listen window on failed
+    /// attempts, so retries back off (capped, jittered) under sustained
+    /// loss instead of hammering a dead channel, and successful
+    /// exchanges feed their measured round-trip back into it.
+    pub fn send_adaptive(
+        &mut self,
+        base: &TrialConfig,
+        max_attempts: usize,
+        est: &mut RttEstimator,
+    ) -> ArqOutcome {
+        let fixed = self.send_with_ack_faults(base, max_attempts, |_| false);
+        // Re-derive the airtime with adaptive waits: the fixed engine
+        // charged `ack_timeout_s` per failed data-phase attempt; swap
+        // each for an estimator draw and feed the observations through.
+        let params = base.frame.params;
+        let mut airtime_s = 0.0;
+        for (i, t) in fixed.trials.iter().enumerate() {
+            let mut frame = base.frame;
+            frame.payload_bits = base.payload.len() + 1;
+            let attempt =
+                attempt_airtime_s(&frame, t.band.map(|b| b.len()).unwrap_or(1), t.data_phase);
+            airtime_s += attempt;
+            let delivered_here = fixed.delivered && i + 1 == fixed.attempts;
+            if delivered_here {
+                let rtt = attempt + params.symbol_duration_s();
+                airtime_s += params.symbol_duration_s();
+                est.observe_rtt(rtt);
+            } else if t.data_phase {
+                est.observe_loss();
+                airtime_s += est.next_wait_s();
+            }
+        }
+        ArqOutcome { airtime_s, ..fixed }
     }
 }
 
@@ -320,6 +454,96 @@ mod tests {
         assert!(next.delivered);
         assert_eq!(next.receiver_deliveries, 1);
         assert_eq!(next.duplicates, 0);
+    }
+
+    #[test]
+    fn rtt_estimator_tracks_and_backs_off() {
+        let mut est = RttEstimator::new(42, 0.1, 16.0);
+        // no samples yet: RTO sits at the floor
+        assert!((est.base_rto_s() - 0.1).abs() < 1e-12);
+        est.observe_rtt(1.0);
+        // first sample: srtt = 1.0, rttvar = 0.5 ⇒ rto = 3.0
+        assert!((est.base_rto_s() - 3.0).abs() < 1e-12);
+        // losses double the RTO each time, capped
+        est.observe_loss();
+        assert!((est.base_rto_s() - 6.0).abs() < 1e-12);
+        for _ in 0..20 {
+            est.observe_loss();
+        }
+        assert_eq!(est.backoff(), BACKOFF_CAP);
+        assert!((est.base_rto_s() - 16.0).abs() < 1e-12, "ceiling clamps");
+        // a fresh RTT sample clears the backoff
+        est.observe_rtt(1.0);
+        assert_eq!(est.backoff(), 0);
+        assert!(est.base_rto_s() < 4.0);
+    }
+
+    #[test]
+    fn estimator_waits_are_jittered_deterministic_and_bounded() {
+        let draw = |seed: u64| -> Vec<f64> {
+            let mut est = RttEstimator::new(seed, 0.5, 16.0);
+            est.observe_rtt(0.8);
+            (0..8)
+                .map(|_| {
+                    est.observe_loss();
+                    est.next_wait_s()
+                })
+                .collect()
+        };
+        let a = draw(7);
+        let b = draw(7);
+        assert_eq!(a, b, "same seed ⇒ identical wait stream");
+        let c = draw(8);
+        assert_ne!(a, c, "different seed ⇒ different jitter");
+        for (i, &w) in a.iter().enumerate() {
+            assert!(w >= 0.5 && w <= 16.0, "wait {i} out of bounds: {w}");
+        }
+        // sustained loss must grow the waits toward the cap overall
+        assert!(
+            a.last().unwrap() > a.first().unwrap(),
+            "backoff must grow waits: {a:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_send_matches_fixed_on_clean_link_and_feeds_estimator() {
+        let cfg = TrialConfig::standard(
+            Environment::preset(Site::Bridge),
+            Pos::new(0.0, 0.0, 1.0),
+            Pos::new(5.0, 0.0, 1.0),
+            64,
+        );
+        let mut est = RttEstimator::new(1, 0.2, 16.0);
+        let out = ArqSession::new().send_adaptive(&cfg, 3, &mut est);
+        assert!(out.delivered);
+        assert_eq!(out.attempts, 1);
+        // the delivery fed the estimator a real RTT sample
+        assert!(est.base_rto_s() > 0.2, "rto grew from the RTT sample");
+        assert_eq!(est.backoff(), 0);
+        // clean first-try delivery pays no timeout, so the airtime matches
+        // the fixed engine exactly
+        let fixed = ArqSession::new().send(&cfg, 3);
+        assert!((out.airtime_s - fixed.airtime_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_send_backs_off_on_dead_link() {
+        // Hopeless link: every attempt fails, so each data-phase attempt
+        // pays an estimator wait and the backoff climbs.
+        let cfg = TrialConfig::standard(
+            Environment::preset(Site::Lake).with_noise_gain_db(20.0),
+            Pos::new(0.0, 0.0, 1.0),
+            Pos::new(120.0, 0.0, 1.0),
+            65,
+        );
+        let mut est = RttEstimator::new(3, 0.2, 16.0);
+        let out = ArqSession::new().send_adaptive(&cfg, 3, &mut est);
+        assert!(!out.delivered);
+        let data_attempts = out.trials.iter().filter(|t| t.data_phase).count();
+        if data_attempts > 0 {
+            assert_eq!(est.backoff() as usize, data_attempts.min(6));
+            assert!(out.airtime_s > 0.2 * data_attempts as f64);
+        }
     }
 
     #[test]

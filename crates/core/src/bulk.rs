@@ -14,25 +14,50 @@
 //! - After the window Bob answers with a **block ACK** on the reverse
 //!   link: a short frame of single-tone symbols (the paper's ACK
 //!   primitive, §2.3) carrying a done flag, the lowest sequence number he
-//!   still needs, and a bitmap of needs over the next window. A checksum
-//!   tone guards the frame; any undecodable or checksum-failing tone
-//!   discards the whole block ACK, and Alice simply resends — the
-//!   receiver's duplicate suppression absorbs the overlap.
+//!   still needs, and a bitmap of needs over the next window. A CRC-16
+//!   plus a checksum tone guard the frame; any undecodable, checksum- or
+//!   CRC-failing frame discards the whole block ACK, and Alice simply
+//!   resends — the receiver's duplicate suppression absorbs the overlap.
 //! - Alice retires acknowledged fragments and refills the window with the
 //!   lowest still-pending sequence numbers (selective repeat: only what
 //!   the receiver actually needs is retransmitted, and fragments of
 //!   RS-complete generations are never chased at all).
 //!
+//! Two sender engines share that machinery (DESIGN.md §13):
+//!
+//! - [`run_bulk_transfer`] — the static engine: fixed window, all parity
+//!   transmitted eagerly, fixed round budget. Predictable, and the
+//!   baseline the fault experiments compare against.
+//! - [`run_adaptive_transfer`] — the robust engine: a
+//!   [`DegradationLadder`] shrinks the window and releases per-generation
+//!   parity as the measured per-round erasure rate climbs (and recovers
+//!   when it clears); an [`RttEstimator`] paces everything with capped,
+//!   jittered backoff; and **suspend/resume** parks the transfer when the
+//!   link goes fully dead (a blackout), probing at backed-off intervals
+//!   instead of burning the round budget, then resuming the window where
+//!   it left off.
+//!
+//! Time-varying impairments come from the [`aqua_channel::fault`] layer:
+//! both engines advance a session clock (airtime + suspension waits) and
+//! evaluate the configured [`FaultSchedule`] on it, so a 30 s blackout in
+//! schedule time covers exactly the packets whose exchanges overlap it.
+//!
 //! Airtime accounting matches [`crate::arq`]: every forward attempt pays
 //! header + gap (+ data section when transmitted), every block ACK pays
-//! its tone symbols.
+//! its tone symbols. Suspension waits accrue separately
+//! ([`BulkOutcome::suspended_s`]) — a parked radio is not airtime.
 
-use crate::arq::attempt_airtime_s;
+use crate::arq::{attempt_airtime_s, RttEstimator};
 use crate::trial::{run_trial, TrialConfig};
+use aqua_channel::fault::FaultSchedule;
 use aqua_channel::link::{Link, LinkConfig, SAMPLE_RATE};
+use aqua_coding::bits::{bits_to_bytes, bits_to_value, value_to_bits};
+use aqua_coding::crc::crc16;
 use aqua_phy::feedback::{decode_tone, encode_tone};
 use aqua_phy::params::OfdmParams;
-use aqua_proto::transfer::{Accept, Fragment, Reassembler, TransferParams, TransferPlan};
+use aqua_proto::transfer::{
+    Accept, Fragment, PlanError, Reassembler, TransferParams, TransferPlan,
+};
 
 /// Payload bits carried per block-ACK tone symbol. The tone alphabet has
 /// `num_bins` = 60 symbols; 5 bits (32 values) leaves headroom so a
@@ -44,6 +69,25 @@ pub const ACK_TONE_BITS: usize = 5;
 /// alphabet (`31 + 28 = 59`) inside the 60 usable bins.
 pub const ACK_DIVERSITY_SHIFT: usize = 28;
 
+/// CRC bits appended to the block-ACK content before tone packing. The
+/// per-tone XOR checksum alone admits compensating two-tone corruptions;
+/// the CRC-16 makes a falsely *accepted* frame (and in particular a
+/// corrupted frame parsing as a valid `done` ACK) astronomically
+/// unlikely — the property the ACK fuzz suite pins.
+pub const ACK_CRC_BITS: usize = 16;
+
+/// All-erasure rounds with no decodable block ACK before the adaptive
+/// sender declares the link dead and suspends.
+pub const SUSPEND_AFTER_DEAD_ROUNDS: usize = 2;
+
+/// Total resume probes an adaptive transfer may spend across all
+/// suspensions before giving up with [`BulkReason::Blackout`].
+pub const PROBE_BUDGET: usize = 24;
+
+/// Floor/ceiling of the adaptive engine's retransmission timeout.
+const MIN_RTO_S: f64 = 1.0;
+const MAX_RTO_S: f64 = 16.0;
+
 /// Configuration of one bulk transfer run.
 #[derive(Debug, Clone)]
 pub struct BulkConfig {
@@ -52,10 +96,55 @@ pub struct BulkConfig {
     pub base: TrialConfig,
     /// Fragment/generation geometry (see [`TransferParams`]).
     pub params: TransferParams,
-    /// Fragments sent back to back between block ACKs.
+    /// Fragments sent back to back between block ACKs (the adaptive
+    /// engine may shrink below this under degradation).
     pub window: usize,
     /// Round budget before the sender gives up.
     pub max_rounds: usize,
+    /// Time-varying channel impairments, evaluated on the transfer's
+    /// session clock. `None` is the exact zero-fault pipeline.
+    pub faults: Option<FaultSchedule>,
+}
+
+/// Why a bulk transfer rejected its configuration before transmitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BulkError {
+    /// The transfer geometry itself is degenerate.
+    Plan(PlanError),
+    /// `window` was 0.
+    ZeroWindow,
+    /// `max_rounds` was 0.
+    ZeroRounds,
+}
+
+impl std::fmt::Display for BulkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Plan(e) => write!(f, "transfer plan: {e}"),
+            Self::ZeroWindow => write!(f, "window must be positive"),
+            Self::ZeroRounds => write!(f, "round budget must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BulkError {}
+
+impl From<PlanError> for BulkError {
+    fn from(e: PlanError) -> Self {
+        Self::Plan(e)
+    }
+}
+
+/// How a bulk transfer ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BulkReason {
+    /// The receiver reassembled the full payload (bit-exact).
+    Completed,
+    /// The sender burned its round budget without completing.
+    RoundBudget,
+    /// The adaptive sender suspended on a dead link and exhausted its
+    /// probe budget without ever hearing the receiver again.
+    Blackout,
 }
 
 /// Result of a bulk transfer run.
@@ -64,9 +153,12 @@ pub struct BulkOutcome {
     /// Reassembled payload when the receiver completed (bit-exact), `None`
     /// otherwise.
     pub delivered: Option<Vec<u8>>,
-    /// Window rounds used.
+    /// Why the transfer ended (explicit — no inferring failure modes from
+    /// round counts).
+    pub reason: BulkReason,
+    /// Window rounds used (suspend-mode probes are not rounds).
     pub rounds: usize,
-    /// Forward packet transmissions.
+    /// Forward packet transmissions (including resume probes).
     pub packets_sent: usize,
     /// Transmissions that reached the reassembler as *fresh* fragments.
     pub packets_delivered: usize,
@@ -77,24 +169,67 @@ pub struct BulkOutcome {
     pub duplicates: usize,
     /// Block-ACK frames the sender could not decode.
     pub acks_lost: usize,
+    /// Times the adaptive sender suspended on a dead link.
+    pub suspensions: usize,
+    /// Resume probes sent while suspended.
+    pub probes: usize,
+    /// Seconds spent parked in suspension waits (not airtime).
+    pub suspended_s: f64,
     /// Total airtime in seconds (forward packets + block-ACK tones).
     pub airtime_s: f64,
     /// `total_bytes * 8 / airtime_s` when delivered, else 0.
     pub goodput_bps: f64,
 }
 
-/// Block-ACK frame content: done flag, cumulative base, per-seq need bits.
-struct BlockAck {
-    done: bool,
-    base: u16,
-    need: Vec<bool>,
+impl BulkOutcome {
+    fn start() -> Self {
+        Self {
+            delivered: None,
+            reason: BulkReason::RoundBudget,
+            rounds: 0,
+            packets_sent: 0,
+            packets_delivered: 0,
+            erasures: 0,
+            duplicates: 0,
+            acks_lost: 0,
+            suspensions: 0,
+            probes: 0,
+            suspended_s: 0.0,
+            airtime_s: 0.0,
+            goodput_bps: 0.0,
+        }
+    }
+}
+
+/// Block-ACK frame content: done flag, cumulative base, per-seq need
+/// bits. Public so the fuzz suite can drive the tone codec directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockAck {
+    /// Receiver has reassembled the full payload.
+    pub done: bool,
+    /// Lowest sequence number the receiver still needs (cumulative ACK
+    /// of everything below).
+    pub base: u16,
+    /// Need bitmap over `base..base + window`.
+    pub need: Vec<bool>,
 }
 
 impl BlockAck {
-    fn to_tones(&self) -> Vec<usize> {
+    /// The semantic content bits: done(1) | base(16) | need(window).
+    fn content_bits(&self) -> Vec<u8> {
         let mut bits: Vec<u8> = vec![u8::from(self.done)];
         bits.extend((0..16).rev().map(|i| ((self.base >> i) & 1) as u8));
         bits.extend(self.need.iter().map(|&n| u8::from(n)));
+        bits
+    }
+
+    /// Serializes to tone symbols: content bits + CRC-16 over the packed
+    /// content, zero-padded to a tone boundary, plus one XOR checksum
+    /// tone.
+    pub fn to_tones(&self) -> Vec<usize> {
+        let mut bits = self.content_bits();
+        let crc = crc16(&bits_to_bytes(&bits));
+        bits.extend(value_to_bits(crc as u64, ACK_CRC_BITS));
         while bits.len() % ACK_TONE_BITS != 0 {
             bits.push(0);
         }
@@ -107,9 +242,17 @@ impl BlockAck {
         tones
     }
 
-    fn from_tones(tones: &[usize], window: usize) -> Option<Self> {
-        let payload_tones = (17 + window).div_ceil(ACK_TONE_BITS);
+    /// Parses tone symbols for the given window size. Returns `None` on
+    /// any length mismatch, XOR-checksum failure, nonzero padding, or
+    /// CRC-16 mismatch — a corrupted or truncated frame must never
+    /// surface as a valid block ACK.
+    pub fn from_tones(tones: &[usize], window: usize) -> Option<Self> {
+        let content_len = 17 + window;
+        let payload_tones = (content_len + ACK_CRC_BITS).div_ceil(ACK_TONE_BITS);
         if tones.len() != payload_tones + 1 {
+            return None;
+        }
+        if tones.iter().any(|&t| t >= 1 << ACK_TONE_BITS) {
             return None;
         }
         let (body, check) = tones.split_at(payload_tones);
@@ -120,51 +263,224 @@ impl BlockAck {
             .iter()
             .flat_map(|&t| (0..ACK_TONE_BITS).rev().map(move |i| ((t >> i) & 1) as u8))
             .collect();
-        let done = bits[0] == 1;
-        let base = bits[1..17].iter().fold(0u16, |v, &b| (v << 1) | b as u16);
-        let need = bits[17..17 + window].iter().map(|&b| b == 1).collect();
+        // zero padding between the CRC and the tone boundary is part of
+        // the frame: a flipped padding bit is corruption, not slack
+        if bits[content_len + ACK_CRC_BITS..].iter().any(|&b| b != 0) {
+            return None;
+        }
+        let content = &bits[..content_len];
+        let crc = bits_to_value(&bits[content_len..content_len + ACK_CRC_BITS]) as u16;
+        if crc16(&bits_to_bytes(content)) != crc {
+            return None;
+        }
+        let done = content[0] == 1;
+        let base = content[1..17]
+            .iter()
+            .fold(0u16, |v, &b| (v << 1) | b as u16);
+        let need = content[17..].iter().map(|&b| b == 1).collect();
         Some(Self { done, base, need })
     }
 
     /// Tone symbols in a block-ACK frame for a given window size.
-    fn frame_tones(window: usize) -> usize {
-        (17 + window).div_ceil(ACK_TONE_BITS) + 1
+    pub fn frame_tones(window: usize) -> usize {
+        (17 + window + ACK_CRC_BITS).div_ceil(ACK_TONE_BITS) + 1
     }
 }
 
-/// Runs a bulk transfer of `data` and returns the outcome.
-pub fn run_bulk_transfer(cfg: &BulkConfig, data: &[u8]) -> BulkOutcome {
+/// Rejects degenerate engine knobs with a typed error.
+fn validate(cfg: &BulkConfig) -> Result<(), BulkError> {
+    if cfg.window == 0 {
+        return Err(BulkError::ZeroWindow);
+    }
+    if cfg.max_rounds == 0 {
+        return Err(BulkError::ZeroRounds);
+    }
+    Ok(())
+}
+
+/// The receiver's current block ACK.
+fn build_ack(reasm: &Reassembler, window: usize, total_frags: u16) -> BlockAck {
+    let needed = reasm.missing();
+    let base = needed.first().copied().unwrap_or(total_frags);
+    BlockAck {
+        done: reasm.complete(),
+        base,
+        need: (0..window as u16)
+            .map(|i| needed.binary_search(&(base + i)).is_ok())
+            .collect(),
+    }
+}
+
+/// One forward fragment exchange at session time `now_s`: a full packet
+/// trial carrying the fragment, fed to the reassembler. Returns whether
+/// the receiver heard it (fresh or duplicate) and the airtime paid.
+#[allow(clippy::too_many_arguments)]
+fn send_fragment(
+    cfg: &BulkConfig,
+    frag: &Fragment,
+    seed: u64,
+    now_s: f64,
+    force_lose: bool,
+    reasm: &mut Reassembler,
+    out: &mut BulkOutcome,
+) -> (bool, f64) {
+    let mut t = cfg.base.clone();
+    t.payload = frag.to_bits();
+    t.frame.payload_bits = t.payload.len();
+    t.seed = seed;
+    t.faults = cfg.faults.clone();
+    t.start_s = now_s;
+    let trial = run_trial(&t);
+    out.packets_sent += 1;
+    let air = attempt_airtime_s(
+        &t.frame,
+        trial.band.map(|b| b.len()).unwrap_or(1),
+        trial.data_phase,
+    );
+    out.airtime_s += air;
+    let parsed = trial
+        .bits
+        .filter(|_| !force_lose)
+        .and_then(|b| Fragment::from_bits(&b));
+    let heard = match parsed {
+        Some(f) => match reasm.accept(&f) {
+            Accept::Fresh => {
+                out.packets_delivered += 1;
+                true
+            }
+            Accept::Duplicate => {
+                out.duplicates += 1;
+                true
+            }
+            Accept::Invalid => {
+                out.erasures += 1;
+                false
+            }
+        },
+        None => {
+            out.erasures += 1;
+            false
+        }
+    };
+    (heard, air)
+}
+
+/// The block-ACK exchange on the reverse link at session time `now_s`.
+///
+/// Each tone goes out twice with FREQUENCY diversity: copy 0 on bin `v`,
+/// copy 1 on bin `v + ACK_DIVERSITY_SHIFT`. The lake channel is static,
+/// so a multipath notch on one subcarrier is permanent — retransmitting
+/// the same bin can never recover it, but a notch at both bins 1.4 kHz
+/// apart is rare. The decoder takes the highest-quality copy that maps
+/// back to a valid symbol; the CRC and checksum tone still guard the
+/// whole frame. Returns the decoded ACK (if any) and the airtime paid.
+fn block_ack_exchange(
+    cfg: &BulkConfig,
+    ack: &BlockAck,
+    link_seed: u64,
+    now_s: f64,
+) -> (Option<BlockAck>, f64) {
+    let params: OfdmParams = cfg.base.frame.params;
+    let faults = cfg.faults.as_ref().map(|f| (f, now_s));
+    let mut back = Link::new(LinkConfig {
+        fs: SAMPLE_RATE,
+        env: cfg.base.env.clone(),
+        tx_device: cfg.base.bob_device,
+        rx_device: cfg.base.alice_device,
+        tx_traj: cfg.base.bob_traj.clone(),
+        rx_traj: cfg.base.alice_traj.clone(),
+        noise: true,
+        impulses: false,
+        seed: link_seed,
+    });
+    let mut airtime_s = 0.0;
+    let mut rx_tones = Vec::new();
+    for (i, &tone) in ack.to_tones().iter().enumerate() {
+        let mut best: Option<(usize, f64)> = None;
+        for copy in 0..2usize {
+            let bin = tone + copy * ACK_DIVERSITY_SHIFT;
+            let t0 = (2 * i + copy) as f64 * params.symbol_duration_s();
+            let rx = back.transmit_with_faults(&encode_tone(&params, bin), t0, faults);
+            airtime_s += params.symbol_duration_s();
+            let decoded = decode_tone(&params, &rx, 0.25).and_then(|(b, q)| {
+                let v = b.checked_sub(copy * ACK_DIVERSITY_SHIFT)?;
+                (v < 1 << ACK_TONE_BITS).then_some((v, q))
+            });
+            if let Some(d) = decoded {
+                if best.map(|b| d.1 > b.1).unwrap_or(true) {
+                    best = Some(d);
+                }
+            }
+        }
+        match best {
+            Some((bin, _)) => rx_tones.push(bin),
+            None => break,
+        }
+    }
+    let decoded = (rx_tones.len() == BlockAck::frame_tones(cfg.window))
+        .then(|| BlockAck::from_tones(&rx_tones, cfg.window))
+        .flatten();
+    (decoded, airtime_s)
+}
+
+/// Applies a decoded block ACK to the sender's pending set: cumulative
+/// retire below `base`, bitmap retire/keep inside the window, and
+/// re-insertion of receiver-demanded sequence numbers — but only ones
+/// the sender has *released* (the receiver's `missing()` view includes
+/// parity of every incomplete generation; demand alone must not defeat
+/// the ladder's parity withholding on a clean link).
+fn apply_ack(pending: &mut Vec<u16>, ack: &BlockAck, total_frags: u16, released: &[bool]) {
+    pending.retain(|&s| {
+        if s < ack.base {
+            return false; // cumulative: nothing below base is needed
+        }
+        let i = (s - ack.base) as usize;
+        // inside the reported bitmap: keep only if still needed;
+        // beyond it: no information, keep pending
+        i >= ack.need.len() || ack.need[i]
+    });
+    for (i, &needed) in ack.need.iter().enumerate() {
+        if !needed {
+            continue;
+        }
+        let s = ack.base + i as u16;
+        if s >= total_frags {
+            break;
+        }
+        if !released[s as usize] {
+            continue;
+        }
+        if let Err(pos) = pending.binary_search(&s) {
+            pending.insert(pos, s);
+        }
+    }
+}
+
+/// Runs a bulk transfer of `data` with the static engine and returns the
+/// outcome, or a typed error on degenerate configuration.
+pub fn run_bulk_transfer(cfg: &BulkConfig, data: &[u8]) -> Result<BulkOutcome, BulkError> {
     run_bulk_transfer_with_faults(cfg, data, |_, _| false)
 }
 
-/// [`run_bulk_transfer`] with a fault hook: `lose(round, seq)` forces that
+/// [`run_bulk_transfer`] with a loss hook: `lose(round, seq)` forces that
 /// forward transmission to vanish (a packet erasure), independent of the
 /// channel — the deterministic loss patterns the RS-vs-no-FEC experiments
-/// and tests are built on.
+/// and tests are built on. (Time-varying channel impairments are the
+/// [`BulkConfig::faults`] schedule instead.)
 pub fn run_bulk_transfer_with_faults(
     cfg: &BulkConfig,
     data: &[u8],
     lose: impl Fn(usize, u16) -> bool,
-) -> BulkOutcome {
-    assert!(cfg.window >= 1, "window must be positive");
-    assert!(cfg.max_rounds >= 1);
-    let plan = TransferPlan::new(data.len(), cfg.params);
+) -> Result<BulkOutcome, BulkError> {
+    validate(cfg)?;
+    let plan = TransferPlan::try_new(data.len(), cfg.params)?;
     let frags = plan.segment(data);
-    let params: OfdmParams = cfg.base.frame.params;
+    let total = plan.total_frags() as u16;
 
-    let mut pending: Vec<u16> = (0..plan.total_frags() as u16).collect();
+    let mut pending: Vec<u16> = (0..total).collect();
+    let all_released = vec![true; total as usize];
     let mut reasm = Reassembler::new(plan);
-    let mut out = BulkOutcome {
-        delivered: None,
-        rounds: 0,
-        packets_sent: 0,
-        packets_delivered: 0,
-        erasures: 0,
-        duplicates: 0,
-        acks_lost: 0,
-        airtime_s: 0.0,
-        goodput_bps: 0.0,
-    };
+    let mut out = BulkOutcome::start();
 
     let mut sender_done = false;
     while out.rounds < cfg.max_rounds && !sender_done && !pending.is_empty() {
@@ -174,103 +490,38 @@ pub fn run_bulk_transfer_with_faults(
 
         // ---- forward burst: one full packet exchange per fragment ----
         for &seq in &burst {
-            let mut t = cfg.base.clone();
-            t.payload = frags[seq as usize].to_bits();
-            t.frame.payload_bits = t.payload.len();
-            t.seed = cfg
+            let seed = cfg
                 .base
                 .seed
                 .wrapping_add(0x9E37_79B9 * (1 + round as u64))
                 .wrapping_add(7919 * seq as u64);
-            let trial = run_trial(&t);
-            out.packets_sent += 1;
-            out.airtime_s += attempt_airtime_s(
-                &t.frame,
-                trial.band.map(|b| b.len()).unwrap_or(1),
-                trial.data_phase,
+            let now_s = out.airtime_s;
+            send_fragment(
+                cfg,
+                &frags[seq as usize],
+                seed,
+                now_s,
+                lose(round, seq),
+                &mut reasm,
+                &mut out,
             );
-            let frag = trial
-                .bits
-                .filter(|_| !lose(round, seq))
-                .and_then(|b| Fragment::from_bits(&b));
-            match frag {
-                Some(f) => match reasm.accept(&f) {
-                    Accept::Fresh => out.packets_delivered += 1,
-                    Accept::Duplicate => out.duplicates += 1,
-                    Accept::Invalid => out.erasures += 1,
-                },
-                None => out.erasures += 1,
-            }
         }
 
         // ---- block ACK on the reverse link ----
-        let needed = reasm.missing();
-        let base = needed.first().copied().unwrap_or(plan.total_frags() as u16);
-        let ack = BlockAck {
-            done: reasm.complete(),
-            base,
-            need: (0..cfg.window as u16)
-                .map(|i| needed.binary_search(&(base + i)).is_ok())
-                .collect(),
-        };
-        let mut back = Link::new(LinkConfig {
-            fs: SAMPLE_RATE,
-            env: cfg.base.env.clone(),
-            tx_device: cfg.base.bob_device,
-            rx_device: cfg.base.alice_device,
-            tx_traj: cfg.base.bob_traj.clone(),
-            rx_traj: cfg.base.alice_traj.clone(),
-            noise: true,
-            impulses: false,
-            seed: cfg.base.seed ^ 0xB10C ^ ((round as u64) << 17),
-        });
-        // Each tone goes out twice with FREQUENCY diversity: copy 0 on bin
-        // `v`, copy 1 on bin `v + ACK_DIVERSITY_SHIFT`. The lake channel is
-        // static, so a multipath notch on one subcarrier is permanent —
-        // retransmitting the same bin can never recover it, but a notch at
-        // both bins 1.4 kHz apart is rare. The decoder takes the
-        // highest-quality copy that maps back to a valid symbol; the
-        // checksum tone still guards the whole frame.
-        let mut rx_tones = Vec::new();
-        for (i, &tone) in ack.to_tones().iter().enumerate() {
-            let mut best: Option<(usize, f64)> = None;
-            for copy in 0..2usize {
-                let bin = tone + copy * ACK_DIVERSITY_SHIFT;
-                let t0 = (2 * i + copy) as f64 * params.symbol_duration_s();
-                let rx = back.transmit(&encode_tone(&params, bin), t0);
-                out.airtime_s += params.symbol_duration_s();
-                let decoded = decode_tone(&params, &rx, 0.25).and_then(|(b, q)| {
-                    let v = b.checked_sub(copy * ACK_DIVERSITY_SHIFT)?;
-                    (v < 1 << ACK_TONE_BITS).then_some((v, q))
-                });
-                if let Some(d) = decoded {
-                    if best.map(|b| d.1 > b.1).unwrap_or(true) {
-                        best = Some(d);
-                    }
-                }
-            }
-            match best {
-                Some((bin, _)) => rx_tones.push(bin),
-                None => break,
-            }
-        }
-        let decoded = (rx_tones.len() == BlockAck::frame_tones(cfg.window))
-            .then(|| BlockAck::from_tones(&rx_tones, cfg.window))
-            .flatten();
+        let ack = build_ack(&reasm, cfg.window, total);
+        let (decoded, ack_air) = block_ack_exchange(
+            cfg,
+            &ack,
+            cfg.base.seed ^ 0xB10C ^ ((round as u64) << 17),
+            out.airtime_s,
+        );
+        out.airtime_s += ack_air;
         match decoded {
             Some(ack) => {
                 if ack.done {
                     sender_done = true;
                 }
-                pending.retain(|&s| {
-                    if s < ack.base {
-                        return false; // cumulative: nothing below base is needed
-                    }
-                    let i = (s - ack.base) as usize;
-                    // inside the reported bitmap: keep only if still needed;
-                    // beyond it: no information, keep pending
-                    i >= ack.need.len() || ack.need[i]
-                });
+                apply_ack(&mut pending, &ack, total, &all_released);
             }
             None => out.acks_lost += 1,
         }
@@ -279,8 +530,306 @@ pub fn run_bulk_transfer_with_faults(
     out.delivered = reasm.assemble();
     if let Some(d) = &out.delivered {
         out.goodput_bps = d.len() as f64 * 8.0 / out.airtime_s;
+        out.reason = BulkReason::Completed;
     }
-    out
+    Ok(out)
+}
+
+/// Graceful-degradation ladder: maps the measured per-round erasure rate
+/// (EWMA, with a lost block ACK counting as a fully erased round) to a
+/// degradation level that shrinks the send window and releases more
+/// per-generation RS parity. Two consecutive clean observations step one
+/// level back down — the ladder recovers when the channel clears.
+#[derive(Debug, Clone, Default)]
+pub struct DegradationLadder {
+    level: usize,
+    ewma: f64,
+    clear_streak: usize,
+}
+
+/// Highest degradation level (smallest window, all parity eager).
+pub const MAX_DEGRADATION_LEVEL: usize = 3;
+
+/// EWMA erasure rate above which the ladder climbs a level. Above half
+/// the window erased, *sustained*: one bad boundary round (a blackout
+/// edge, a burst landing in a window) must not shrink the window.
+const RAISE_THRESHOLD: f64 = 0.5;
+/// EWMA erasure rate below which a round counts toward recovery.
+const CLEAR_THRESHOLD: f64 = 0.15;
+
+impl DegradationLadder {
+    /// A fresh ladder at level 0 (full window, no eager parity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current degradation level, `0..=MAX_DEGRADATION_LEVEL`.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The smoothed per-round erasure rate driving the ladder.
+    pub fn erasure_ewma(&self) -> f64 {
+        self.ewma
+    }
+
+    /// Feeds one round's measurement: the fraction of the burst that was
+    /// erased, and whether the block ACK was decodable. A lost ACK is
+    /// indistinguishable from total loss and is treated as such.
+    pub fn observe_round(&mut self, erasure_rate: f64, ack_ok: bool) {
+        let rate = if ack_ok { erasure_rate } else { 1.0 };
+        self.ewma = 0.5 * self.ewma + 0.5 * rate;
+        if self.ewma > RAISE_THRESHOLD {
+            self.level = (self.level + 1).min(MAX_DEGRADATION_LEVEL);
+            self.clear_streak = 0;
+        } else if self.ewma < CLEAR_THRESHOLD {
+            self.clear_streak += 1;
+            if self.clear_streak >= 2 && self.level > 0 {
+                self.level -= 1;
+                self.clear_streak = 0;
+            }
+        } else {
+            self.clear_streak = 0;
+        }
+    }
+
+    /// The send window at the current level: halved per level, floor 2
+    /// (never above the configured base).
+    pub fn window(&self, base: usize) -> usize {
+        (base >> self.level).clamp(2.min(base.max(1)), base.max(1))
+    }
+
+    /// Parity fragments per generation released *eagerly* at the current
+    /// level: none when clean (parity only on receiver demand), half at
+    /// level 1, all of them at level 2+.
+    pub fn eager_parity(&self, parity: usize) -> usize {
+        match self.level {
+            0 => 0,
+            1 => parity.div_ceil(2),
+            _ => parity,
+        }
+    }
+}
+
+/// Runs a bulk transfer of `data` with the adaptive engine: degradation
+/// ladder, estimator-paced backoff, and suspend/resume across blackouts.
+/// See the module docs for the protocol; [`BulkOutcome::reason`] reports
+/// how the run ended.
+pub fn run_adaptive_transfer(cfg: &BulkConfig, data: &[u8]) -> Result<BulkOutcome, BulkError> {
+    validate(cfg)?;
+    let plan = TransferPlan::try_new(data.len(), cfg.params)?;
+    let frags = plan.segment(data);
+    let total = plan.total_frags() as u16;
+
+    // Pending starts as the data fragments only: parity is released by
+    // the ladder (eagerly, under degradation) or by explicit receiver
+    // demand through the ACK need bitmap.
+    let mut pending: Vec<u16> = (0..plan.generations())
+        .flat_map(|g| {
+            let s = plan.gen_start(g);
+            (s..s + plan.gen_data_count(g)).map(|q| q as u16)
+        })
+        .collect();
+    let mut released: Vec<bool> = vec![false; plan.total_frags()];
+    for &s in &pending {
+        released[s as usize] = true;
+    }
+    let mut sent: Vec<u32> = vec![0; plan.total_frags()];
+
+    let mut reasm = Reassembler::new(plan);
+    let mut ladder = DegradationLadder::new();
+    let mut est = RttEstimator::new(cfg.base.seed ^ 0xADA7, MIN_RTO_S, MAX_RTO_S);
+    let mut out = BulkOutcome::start();
+    let mut now_s = 0.0f64;
+    let mut sender_done = false;
+    let mut dead_rounds = 0usize;
+    let mut blackout_abort = false;
+    // Unique per-exchange counter: fragment and ACK seeds never repeat
+    // across rounds, probes, or ladder reshuffles.
+    let mut exchange = 0u64;
+
+    while !sender_done && !pending.is_empty() {
+        if out.rounds >= cfg.max_rounds {
+            break;
+        }
+        out.rounds += 1;
+
+        // ---- parity release: ladder (eager) + receiver demand ----
+        // Eager: under degradation, incomplete generations get parity up
+        // front. Demand-driven: a fragment that has been sent twice and
+        // is still pending keeps dying on this channel — answer with the
+        // generation's full parity (seed/placement diversity) instead of
+        // more identical copies.
+        let eager = ladder.eager_parity(cfg.params.parity);
+        let mut release = vec![0usize; plan.generations()];
+        for &s in pending.iter() {
+            if let Some((g, _)) = plan.locate(s as usize) {
+                let want = if sent[s as usize] >= 2 {
+                    cfg.params.parity
+                } else {
+                    eager
+                };
+                release[g] = release[g].max(want);
+            }
+        }
+        for (g, &count) in release.iter().enumerate() {
+            let pstart = plan.gen_start(g) + plan.gen_data_count(g);
+            for seq in pstart..pstart + count.min(cfg.params.parity) {
+                if !released[seq] {
+                    released[seq] = true;
+                    let s = seq as u16;
+                    if let Err(pos) = pending.binary_search(&s) {
+                        pending.insert(pos, s);
+                    }
+                }
+            }
+        }
+
+        // ---- forward burst at the ladder's window ----
+        // After a fully dead round, the next round is a 2-fragment
+        // canary: confirming the outage costs 2 packets, not a window.
+        let win = if dead_rounds > 0 {
+            2
+        } else {
+            ladder.window(cfg.window)
+        };
+        let burst: Vec<u16> = pending.iter().take(win).copied().collect();
+        let round_start_s = now_s;
+        let mut heard_count = 0usize;
+        for &seq in &burst {
+            exchange += 1;
+            let seed = cfg
+                .base
+                .seed
+                .wrapping_add(0x9E37_79B9u64.wrapping_mul(exchange))
+                .wrapping_add(7919 * seq as u64);
+            let (heard, air) = send_fragment(
+                cfg,
+                &frags[seq as usize],
+                seed,
+                now_s,
+                false,
+                &mut reasm,
+                &mut out,
+            );
+            now_s += air;
+            sent[seq as usize] += 1;
+            if heard {
+                heard_count += 1;
+            }
+        }
+
+        // ---- block ACK, with one re-solicitation on loss ----
+        // A lost ACK wastes the whole round (the window gets resent to a
+        // receiver that already has it); one retry costs two orders of
+        // magnitude less airtime than that.
+        let ack = build_ack(&reasm, cfg.window, total);
+        let mut decoded = None;
+        for _ in 0..2 {
+            exchange += 1;
+            let (d, ack_air) =
+                block_ack_exchange(cfg, &ack, cfg.base.seed ^ 0xB10C ^ (exchange << 17), now_s);
+            out.airtime_s += ack_air;
+            now_s += ack_air;
+            if d.is_some() {
+                decoded = d;
+                break;
+            }
+            out.acks_lost += 1;
+        }
+        let ack_ok = decoded.is_some();
+        match decoded {
+            Some(a) => {
+                est.observe_rtt(now_s - round_start_s);
+                if a.done {
+                    sender_done = true;
+                }
+                apply_ack(&mut pending, &a, total, &released);
+            }
+            None => est.observe_loss(),
+        }
+        // ---- dead-link detection → suspend/resume ----
+        // A fully dead round (nothing heard, no ACK) is an *outage*, not
+        // congestion: it feeds the suspension logic, never the ladder —
+        // otherwise a blackout would crush the window and the transfer
+        // would crawl long after the link came back.
+        if heard_count == 0 && !ack_ok {
+            dead_rounds += 1;
+        } else {
+            dead_rounds = 0;
+            let erasure_rate = 1.0 - heard_count as f64 / burst.len().max(1) as f64;
+            ladder.observe_round(erasure_rate, ack_ok);
+        }
+        if dead_rounds >= SUSPEND_AFTER_DEAD_ROUNDS && !sender_done {
+            out.suspensions += 1;
+            let mut resumed = false;
+            while out.probes < PROBE_BUDGET {
+                // park: no airtime, just a backed-off, jittered wait
+                let wait = est.next_wait_s();
+                now_s += wait;
+                out.suspended_s += wait;
+                out.probes += 1;
+
+                // probe: one fragment plus one block-ACK exchange
+                let probe_start_s = now_s;
+                let seq = pending[0];
+                exchange += 1;
+                let seed = cfg
+                    .base
+                    .seed
+                    .wrapping_add(0x9E37_79B9u64.wrapping_mul(exchange))
+                    .wrapping_add(7919 * seq as u64);
+                let (_, air) = send_fragment(
+                    cfg,
+                    &frags[seq as usize],
+                    seed,
+                    now_s,
+                    false,
+                    &mut reasm,
+                    &mut out,
+                );
+                now_s += air;
+                sent[seq as usize] += 1;
+                exchange += 1;
+                let ack = build_ack(&reasm, cfg.window, total);
+                let (probe_ack, probe_air) =
+                    block_ack_exchange(cfg, &ack, cfg.base.seed ^ 0xB10C ^ (exchange << 17), now_s);
+                out.airtime_s += probe_air;
+                now_s += probe_air;
+                match probe_ack {
+                    Some(a) => {
+                        est.observe_rtt(now_s - probe_start_s);
+                        if a.done {
+                            sender_done = true;
+                        }
+                        apply_ack(&mut pending, &a, total, &released);
+                        resumed = true;
+                        break;
+                    }
+                    None => {
+                        out.acks_lost += 1;
+                        est.observe_loss();
+                    }
+                }
+            }
+            if !resumed {
+                blackout_abort = true;
+                break;
+            }
+            dead_rounds = 0;
+        }
+    }
+
+    out.delivered = reasm.assemble();
+    out.reason = if out.delivered.is_some() {
+        out.goodput_bps = data.len() as f64 * 8.0 / out.airtime_s;
+        BulkReason::Completed
+    } else if blackout_abort {
+        BulkReason::Blackout
+    } else {
+        BulkReason::RoundBudget
+    };
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -304,6 +853,7 @@ mod tests {
             params,
             window: 6,
             max_rounds: 20,
+            faults: None,
         }
     }
 
@@ -349,6 +899,102 @@ mod tests {
     }
 
     #[test]
+    fn block_ack_crc_catches_xor_compensating_corruptions() {
+        // Flip the same bit in two different body tones: the per-frame
+        // XOR checksum cancels, so only the CRC-16 stands between a
+        // two-tone corruption and a forged ACK. Exhaustive over all tone
+        // pairs and all 31 flip patterns — deterministic, so a pass here
+        // is a permanent property of these frame constants.
+        let ack = BlockAck {
+            done: false,
+            base: 913,
+            need: vec![true, false, false, true, true, false],
+        };
+        let tones = ack.to_tones();
+        let body = tones.len() - 1;
+        let mut forged = 0usize;
+        for i in 0..body {
+            for j in i + 1..body {
+                for flip in 1..(1usize << ACK_TONE_BITS) {
+                    let mut bad = tones.clone();
+                    bad[i] ^= flip;
+                    bad[j] ^= flip;
+                    if let Some(parsed) = BlockAck::from_tones(&bad, 6) {
+                        assert_eq!(parsed, ack, "differing parse accepted");
+                        forged += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            forged, 0,
+            "{forged} compensating corruptions forged past the CRC"
+        );
+    }
+
+    #[test]
+    fn degenerate_configs_are_typed_errors_not_panics() {
+        let mut cfg = bridge_cfg(TransferParams::default_rs());
+        cfg.window = 0;
+        assert_eq!(
+            run_bulk_transfer(&cfg, &demo_payload(64)).unwrap_err(),
+            BulkError::ZeroWindow
+        );
+        cfg.window = 6;
+        cfg.max_rounds = 0;
+        assert_eq!(
+            run_adaptive_transfer(&cfg, &demo_payload(64)).unwrap_err(),
+            BulkError::ZeroRounds
+        );
+        cfg.max_rounds = 20;
+        assert_eq!(
+            run_bulk_transfer(&cfg, &[]).unwrap_err(),
+            BulkError::Plan(PlanError::EmptyTransfer)
+        );
+        assert_eq!(
+            format!("{}", BulkError::Plan(PlanError::EmptyTransfer)),
+            "transfer plan: empty transfer"
+        );
+    }
+
+    #[test]
+    fn ladder_degrades_and_recovers() {
+        let mut l = DegradationLadder::new();
+        assert_eq!(l.level(), 0);
+        assert_eq!(l.window(12), 12);
+        assert_eq!(l.eager_parity(4), 0);
+        // one bad round is a transient — the ladder must not flinch
+        l.observe_round(0.9, true);
+        assert_eq!(l.level(), 0, "single bad round must not shrink the window");
+        // sustained loss climbs it
+        l.observe_round(1.0, false);
+        assert!(l.level() >= 1, "level {} after sustained loss", l.level());
+        l.observe_round(1.0, false);
+        let peak = l.level();
+        assert!(peak >= 2);
+        assert!(l.window(12) < 12);
+        assert_eq!(l.eager_parity(4), 4);
+        // sustained clean rounds walk it back down to 0
+        for _ in 0..30 {
+            l.observe_round(0.0, true);
+        }
+        assert_eq!(l.level(), 0, "ladder must recover on a clean channel");
+        assert_eq!(l.window(12), 12);
+    }
+
+    #[test]
+    fn ladder_window_never_collapses_below_two() {
+        let mut l = DegradationLadder::new();
+        for _ in 0..10 {
+            l.observe_round(1.0, false);
+        }
+        assert_eq!(l.level(), MAX_DEGRADATION_LEVEL);
+        assert_eq!(l.window(12), 2);
+        assert_eq!(l.window(2), 2);
+        assert_eq!(l.window(1), 1);
+    }
+
+    #[test]
     fn clean_link_transfers_in_one_round_per_window() {
         // 120 bytes / 10 per frag = 12 data frags; RS(8+2) adds 4 parity
         let cfg = bridge_cfg(TransferParams {
@@ -357,14 +1003,35 @@ mod tests {
             parity: 2,
         });
         let payload = demo_payload(120);
-        let out = run_bulk_transfer(&cfg, &payload);
+        let out = run_bulk_transfer(&cfg, &payload).expect("valid config");
         assert_eq!(out.delivered.as_deref(), Some(&payload[..]), "bit-exact");
+        assert_eq!(out.reason, BulkReason::Completed);
         assert_eq!(out.erasures, 0, "clean link");
         assert_eq!(out.duplicates, 0);
         assert!(out.goodput_bps > 0.0);
         // 16 fragments through a window of 6 = 3 rounds minimum
         assert_eq!(out.rounds, 3);
         assert_eq!(out.packets_sent, 16);
+    }
+
+    #[test]
+    fn adaptive_engine_skips_parity_on_a_clean_link() {
+        // Level 0 sends no eager parity: a clean link moves only the 12
+        // data fragments (vs 16 for the static engine) and still
+        // completes — parity is pure overhead the ladder avoids paying.
+        let cfg = bridge_cfg(TransferParams {
+            frag_bytes: 10,
+            gen_data: 8,
+            parity: 2,
+        });
+        let payload = demo_payload(120);
+        let out = run_adaptive_transfer(&cfg, &payload).expect("valid config");
+        assert_eq!(out.delivered.as_deref(), Some(&payload[..]), "bit-exact");
+        assert_eq!(out.reason, BulkReason::Completed);
+        assert_eq!(out.packets_sent, 12, "data only, no eager parity");
+        assert_eq!(out.suspensions, 0);
+        assert_eq!(out.probes, 0);
+        assert_eq!(out.suspended_s, 0.0);
     }
 
     #[test]
@@ -388,16 +1055,21 @@ mod tests {
         let payload = demo_payload(120);
         let lose = |_round: usize, seq: u16| seq % 5 == 3;
 
-        let rs = run_bulk_transfer_with_faults(&with_fec, &payload, lose);
+        let rs = run_bulk_transfer_with_faults(&with_fec, &payload, lose).expect("valid config");
         assert_eq!(rs.delivered.as_deref(), Some(&payload[..]), "bit-exact");
+        assert_eq!(rs.reason, BulkReason::Completed);
         assert!(rs.erasures >= 3, "forced losses surfaced as erasures");
         // 16 fragments through a window of 6 need 3 rounds even lossless:
         // the parity fragments, not extra rounds, absorb the losses
         assert_eq!(rs.rounds, 3, "no extra rounds over the lossless minimum");
 
-        let plain = run_bulk_transfer_with_faults(&no_fec, &payload, lose);
+        let plain = run_bulk_transfer_with_faults(&no_fec, &payload, lose).expect("valid config");
         assert_eq!(plain.delivered, None, "ARQ alone cannot finish");
-        assert_eq!(plain.rounds, no_fec.max_rounds, "burned the round budget");
+        assert_eq!(
+            plain.reason,
+            BulkReason::RoundBudget,
+            "failure mode is explicit"
+        );
         assert!(
             plain.packets_sent > plain_data_frags(&no_fec, &payload),
             "kept retransmitting the lost fragments"

@@ -76,6 +76,15 @@ pub struct TrialConfig {
     pub detector: DetectorConfig,
     /// Noise/realization seed.
     pub seed: u64,
+    /// Fault schedule applied to both link directions (see
+    /// [`aqua_channel::fault`]). `None` keeps the exact zero-fault render
+    /// path — bit-identical to a config without a schedule.
+    pub faults: Option<aqua_channel::fault::FaultSchedule>,
+    /// Absolute session time at which this exchange starts: the offset
+    /// mapping the trial's local clock onto the fault schedule's
+    /// timeline. Transfer engines advance it per packet; standalone
+    /// trials leave it 0.
+    pub start_s: f64,
 }
 
 impl TrialConfig {
@@ -101,6 +110,8 @@ impl TrialConfig {
             band_cfg: BandSelectConfig::default(),
             detector: DetectorConfig::default(),
             seed,
+            faults: None,
+            start_s: 0.0,
         }
     }
 }
@@ -262,10 +273,14 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
         seed: cfg.seed ^ 0x0B,
     });
 
+    // Fault schedule evaluated on the session clock: local trial time
+    // plus the exchange's absolute start (see `TrialConfig::start_s`).
+    let faults = cfg.faults.as_ref().map(|f| (f, cfg.start_s));
+
     // ---- 1. header: preamble + receiver ID ----
     let mut header_tx = vec![0.0; LEAD_SAMPLES];
     header_tx.extend(build_header(&cfg.frame, &preamble, cfg.bob_id));
-    let header_rx = front_end(&forward.transmit(&header_tx, 0.0));
+    let header_rx = front_end(&forward.transmit_with_faults(&header_tx, 0.0, faults));
 
     // ---- 2. Bob: detect, check ID, estimate, select ----
     // The detector is the receiver's *live* streaming path (overlap-save
@@ -320,7 +335,8 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
             // `calibrated_noise_floor`); the feedback detector whitens
             // by it.
             let noise_psd = calibrated_noise_floor(&params, &cfg.env);
-            let fb_rx = front_end(&backward.transmit(&fb_tx, header_end_s + 0.002));
+            let fb_rx =
+                front_end(&backward.transmit_with_faults(&fb_tx, header_end_s + 0.002, faults));
             match decode_feedback_whitened(&params, &fb_rx, 0.3, Some(noise_psd.as_slice())) {
                 Some(decoded) => (selected, decoded.band, decoded.band == selected),
                 None => {
@@ -352,7 +368,7 @@ pub fn run_trial(cfg: &TrialConfig) -> TrialResult {
     // Alice's clock: data begins data_start_offset after her preamble start
     // (LEAD_SAMPLES into her transmit buffer).
     let data_start_s = (LEAD_SAMPLES + cfg.frame.data_start_offset()) as f64 / fs;
-    let data_rx = front_end(&forward.transmit(&data_tx, data_start_s));
+    let data_rx = front_end(&forward.transmit_with_faults(&data_tx, data_start_s, faults));
 
     // ---- 6. Bob locates the training symbol and decodes ----
     // Bob expects the data at the same propagation delay as the preamble:

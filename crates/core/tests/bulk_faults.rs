@@ -1,0 +1,141 @@
+//! Acceptance for bulk transfer under time-varying faults (DESIGN.md
+//! §13): a 2 KB payload crosses the 15 m Lake link bit-exact through a
+//! schedule with a mid-transfer 30 s blackout plus impulsive-burst
+//! trains — by suspending, probing, and resuming — where the static
+//! engine under the *same* schedule and round budget provably fails.
+//! Also pins the hard invariant the fault seam rides on: attaching an
+//! empty schedule changes nothing, down to the last airtime bit.
+
+use aqua_channel::environments::{Environment, Site};
+use aqua_channel::fault::FaultSchedule;
+use aqua_channel::geometry::Pos;
+use aqua_proto::transfer::TransferParams;
+use aquapp::bulk::{run_adaptive_transfer, run_bulk_transfer, BulkConfig, BulkReason};
+use aquapp::trial::TrialConfig;
+
+/// Deterministic pseudo-random payload (splitmix-style byte stream).
+fn payload_bytes(len: usize, mut state: u64) -> Vec<u8> {
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+fn lake_cfg(range_m: f64, seed: u64) -> BulkConfig {
+    BulkConfig {
+        base: TrialConfig::standard(
+            Environment::preset(Site::Lake),
+            Pos::new(0.0, 0.0, 1.0),
+            Pos::new(range_m, 0.0, 1.0),
+            seed,
+        ),
+        params: TransferParams::default_rs(),
+        window: 12,
+        max_rounds: 13,
+        faults: None,
+    }
+}
+
+/// The storm: snapping-shrimp burst trains over the whole session plus a
+/// 30 s hard blackout landing mid-transfer (a clean 2 KB run takes
+/// ~68 s of airtime over this link, so t = 25 s is a couple of full
+/// windows in).
+fn storm() -> FaultSchedule {
+    FaultSchedule::seeded(0xFA17)
+        .with_burst_train(0.0, 180.0, 0.1, 0.7)
+        .with_blackout(25.0, 30.0)
+}
+
+#[test]
+fn adaptive_rides_out_a_30s_blackout_where_the_static_engine_fails() {
+    let payload = payload_bytes(2048, 0xA11CE);
+    let mut cfg = lake_cfg(15.0, 77);
+    cfg.faults = Some(storm());
+
+    // Static engine, same schedule, same round budget: every round that
+    // overlaps the blackout is a total loss it pays for in full, and the
+    // budget is gone before the payload is.
+    let stat = run_bulk_transfer(&cfg, &payload).expect("valid config");
+    assert_eq!(stat.delivered, None, "static engine must not survive");
+    assert_eq!(stat.reason, BulkReason::RoundBudget);
+    assert_eq!(stat.rounds, cfg.max_rounds);
+
+    // Adaptive engine: two dead rounds trigger suspension; backed-off
+    // probes cross the blackout without touching the round budget; the
+    // transfer resumes where it parked and completes bit-exact.
+    let out = run_adaptive_transfer(&cfg, &payload).expect("valid config");
+    assert_eq!(
+        out.delivered.as_deref(),
+        Some(&payload[..]),
+        "2 KB must arrive bit-exact through the storm (reason {:?}, rounds {}, probes {})",
+        out.reason,
+        out.rounds,
+        out.probes
+    );
+    assert_eq!(out.reason, BulkReason::Completed);
+    assert!(out.suspensions >= 1, "the blackout must trigger suspension");
+    assert!(out.probes >= 1, "resume must come through a probe");
+    assert!(
+        out.suspended_s > 5.0,
+        "the wait crosses a real outage, got {:.1} s",
+        out.suspended_s
+    );
+    assert!(out.rounds <= cfg.max_rounds);
+}
+
+#[test]
+fn permanent_blackout_ends_in_blackout_not_round_budget() {
+    // The link dies 3 s in and never comes back: the adaptive sender
+    // must suspend, exhaust its probe budget, and say *why* it failed.
+    let payload = payload_bytes(512, 0xBEEF);
+    let mut cfg = lake_cfg(15.0, 78);
+    cfg.faults = Some(FaultSchedule::seeded(1).with_blackout(3.0, 1e7));
+
+    let out = run_adaptive_transfer(&cfg, &payload).expect("valid config");
+    assert_eq!(out.delivered, None);
+    assert_eq!(out.reason, BulkReason::Blackout, "explicit failure mode");
+    assert!(out.suspensions >= 1);
+    assert_eq!(out.probes, aquapp::bulk::PROBE_BUDGET, "probe budget spent");
+}
+
+#[test]
+fn empty_fault_schedule_is_bit_identical_to_none() {
+    // The zero-fault path through the fault seam must be the exact
+    // pipeline that shipped before it existed: same bytes, same rounds,
+    // same packet counts, airtime equal to the last bit.
+    let payload = payload_bytes(480, 0x5EED);
+    let plain = lake_cfg(15.0, 901);
+    let mut seamed = plain.clone();
+    seamed.faults = Some(FaultSchedule::seeded(0xDEAD));
+    assert!(seamed.faults.as_ref().unwrap().is_empty());
+
+    for (a, b) in [
+        (
+            run_bulk_transfer(&plain, &payload).expect("valid config"),
+            run_bulk_transfer(&seamed, &payload).expect("valid config"),
+        ),
+        (
+            run_adaptive_transfer(&plain, &payload).expect("valid config"),
+            run_adaptive_transfer(&seamed, &payload).expect("valid config"),
+        ),
+    ] {
+        assert_eq!(a.delivered.as_deref(), Some(&payload[..]));
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.reason, b.reason);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.packets_sent, b.packets_sent);
+        assert_eq!(a.packets_delivered, b.packets_delivered);
+        assert_eq!(a.erasures, b.erasures);
+        assert_eq!(a.duplicates, b.duplicates);
+        assert_eq!(a.acks_lost, b.acks_lost);
+        assert_eq!(
+            a.airtime_s.to_bits(),
+            b.airtime_s.to_bits(),
+            "airtime must match to the bit"
+        );
+    }
+}

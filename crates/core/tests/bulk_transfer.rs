@@ -7,7 +7,7 @@
 use aqua_channel::environments::{Environment, Site};
 use aqua_channel::geometry::Pos;
 use aqua_proto::transfer::TransferParams;
-use aquapp::bulk::{run_bulk_transfer_with_faults, BulkConfig};
+use aquapp::bulk::{run_bulk_transfer_with_faults, BulkConfig, BulkReason};
 use aquapp::trial::TrialConfig;
 
 /// Deterministic pseudo-random payload (splitmix-style byte stream).
@@ -33,6 +33,7 @@ fn lake_cfg(range_m: f64, params: TransferParams, seed: u64) -> BulkConfig {
         params,
         window: 12,
         max_rounds: 16,
+        faults: None,
     }
 }
 
@@ -45,8 +46,10 @@ fn multi_kb_payload_is_bit_exact_over_lossy_lake_link() {
     // lake channel itself corrupts.
     let payload = payload_bytes(2048, 0xA11CE);
     let cfg = lake_cfg(15.0, TransferParams::default_rs(), 77);
-    let out = run_bulk_transfer_with_faults(&cfg, &payload, |_, seq| seq % 8 == 5);
+    let out =
+        run_bulk_transfer_with_faults(&cfg, &payload, |_, seq| seq % 8 == 5).expect("valid config");
 
+    assert_eq!(out.reason, BulkReason::Completed);
     assert_eq!(
         out.delivered.as_deref(),
         Some(&payload[..]),
@@ -78,13 +81,21 @@ fn no_fec_baseline_fails_under_the_same_persistent_loss() {
 
     let mut no_fec = lake_cfg(15.0, params.without_fec(), 78);
     no_fec.max_rounds = 6;
-    let plain = run_bulk_transfer_with_faults(&no_fec, &payload, |_, seq| seq % 8 == 5);
+    let plain = run_bulk_transfer_with_faults(&no_fec, &payload, |_, seq| seq % 8 == 5)
+        .expect("valid config");
     assert_eq!(plain.delivered, None, "ARQ alone cannot complete");
+    assert_eq!(
+        plain.reason,
+        BulkReason::RoundBudget,
+        "explicit failure mode"
+    );
     assert_eq!(plain.rounds, no_fec.max_rounds);
 
     let with_fec = lake_cfg(15.0, params, 78);
-    let rs = run_bulk_transfer_with_faults(&with_fec, &payload, |_, seq| seq % 8 == 5);
+    let rs = run_bulk_transfer_with_faults(&with_fec, &payload, |_, seq| seq % 8 == 5)
+        .expect("valid config");
     assert_eq!(rs.delivered.as_deref(), Some(&payload[..]));
+    assert_eq!(rs.reason, BulkReason::Completed);
     assert!(
         rs.packets_sent < plain.packets_sent + plain.rounds * no_fec.window,
         "RS must not need more traffic than the failing baseline's budget"

@@ -1,0 +1,191 @@
+//! Fault-injection experiment: bulk-transfer completion rate and goodput
+//! vs fault intensity, adaptive vs static engine (DESIGN.md §13).
+//!
+//! The transfer table (`repro transfer`) measures the *natural* Lake
+//! channel; this one holds the link at 15 m — comfortably inside the
+//! clean regime — and injects the failure modes deployed modems actually
+//! face: snapping-shrimp impulse trains and hard blackouts (a ship
+//! crossing the path, a fouled transducer). Each intensity level runs the
+//! same seeded schedule through both engines. The static engine pays for
+//! every round a blackout eats and exhausts its budget; the adaptive
+//! engine ([`aquapp::bulk::run_adaptive_transfer`]) detects dead rounds,
+//! suspends, probes on RTT-estimator backoff, and resumes where it
+//! parked — turning a hard failure into a goodput cost.
+
+use crate::engine;
+use crate::runner::RunSize;
+use crate::table::Table;
+use aqua_channel::environments::{Environment, Site};
+use aqua_channel::fault::FaultSchedule;
+use aqua_channel::geometry::Pos;
+use aqua_proto::transfer::TransferParams;
+use aquapp::bulk::{run_adaptive_transfer, run_bulk_transfer, BulkConfig, BulkOutcome};
+use aquapp::trial::TrialConfig;
+
+const RANGE_M: f64 = 15.0;
+
+fn transfer_bytes(size: RunSize) -> usize {
+    match size {
+        RunSize::Quick => 480,
+        RunSize::Standard => 2048,
+        RunSize::Full => 2048,
+    }
+}
+
+fn transfers_per_point(size: RunSize) -> usize {
+    match size {
+        RunSize::Quick => 1,
+        RunSize::Standard => 2,
+        RunSize::Full => 4,
+    }
+}
+
+fn payload_bytes(len: usize, mut state: u64) -> Vec<u8> {
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+/// The intensity ladder. Burst trains cover the whole session; the
+/// blackout lands mid-transfer (a clean 480 B run takes ~16 s of
+/// airtime at 15 m, a 2 KB run ~68 s, so the onset scales with size).
+fn fault_levels(size: RunSize) -> Vec<(&'static str, Option<FaultSchedule>)> {
+    let blackout_t0 = match size {
+        RunSize::Quick => 6.0,
+        _ => 25.0,
+    };
+    vec![
+        ("none", None),
+        (
+            "bursts",
+            Some(FaultSchedule::seeded(0xFA17).with_burst_train(0.0, 600.0, 0.05, 0.5)),
+        ),
+        (
+            "heavy bursts",
+            Some(FaultSchedule::seeded(0xFA17).with_burst_train(0.0, 600.0, 0.1, 0.7)),
+        ),
+        (
+            "storm (+30 s blackout)",
+            Some(
+                FaultSchedule::seeded(0xFA17)
+                    .with_burst_train(0.0, 600.0, 0.1, 0.7)
+                    .with_blackout(blackout_t0, 30.0),
+            ),
+        ),
+    ]
+}
+
+fn bulk_cfg(seed: u64, faults: Option<FaultSchedule>) -> BulkConfig {
+    BulkConfig {
+        base: TrialConfig::standard(
+            Environment::preset(Site::Lake),
+            Pos::new(0.0, 0.0, 1.0),
+            Pos::new(RANGE_M, 0.0, 1.0),
+            seed,
+        ),
+        params: TransferParams::default_rs(),
+        window: 12,
+        max_rounds: 13,
+        faults,
+    }
+}
+
+struct Point {
+    delivered: usize,
+    total: usize,
+    goodput_sum: f64,
+    suspensions: usize,
+    probes: usize,
+}
+
+fn summarize(outs: &[BulkOutcome]) -> Point {
+    let mut p = Point {
+        delivered: 0,
+        total: outs.len(),
+        goodput_sum: 0.0,
+        suspensions: 0,
+        probes: 0,
+    };
+    for o in outs {
+        if o.delivered.is_some() {
+            p.delivered += 1;
+            p.goodput_sum += o.goodput_bps;
+        }
+        p.suspensions += o.suspensions;
+        p.probes += o.probes;
+    }
+    p
+}
+
+fn measure(faults: &Option<FaultSchedule>, size: RunSize, adaptive: bool) -> Point {
+    let n = transfers_per_point(size);
+    let bytes = transfer_bytes(size);
+    let outs: Vec<BulkOutcome> = engine::global().par_map(n, |i| {
+        let data = payload_bytes(bytes, 0xFA57 ^ (i as u64) << 8);
+        let cfg = bulk_cfg(4000 + 91 * i as u64, faults.clone());
+        if adaptive {
+            run_adaptive_transfer(&cfg, &data).expect("non-degenerate transfer config")
+        } else {
+            run_bulk_transfer(&cfg, &data).expect("non-degenerate transfer config")
+        }
+    });
+    summarize(&outs)
+}
+
+/// Completion rate and goodput vs fault intensity, adaptive vs static.
+pub fn faults(size: RunSize) -> String {
+    let bytes = transfer_bytes(size);
+    let n = transfers_per_point(size);
+    let mut table = Table::new(
+        &format!("Faulted bulk transfer — {bytes} B over Lake at {RANGE_M:.0} m, {n} transfer(s) per point"),
+        &[
+            "fault intensity",
+            "adaptive delivered",
+            "adaptive goodput (bps)",
+            "susp",
+            "probes",
+            "static delivered",
+            "static goodput (bps)",
+        ],
+    );
+    for (name, faults) in fault_levels(size) {
+        let ada = measure(&faults, size, true);
+        let sta = measure(&faults, size, false);
+        let gp = |p: &Point| {
+            if p.delivered > 0 {
+                format!("{:.0}", p.goodput_sum / p.delivered as f64)
+            } else {
+                "-".to_string()
+            }
+        };
+        table.row(vec![
+            name.to_string(),
+            format!("{}/{}", ada.delivered, ada.total),
+            gp(&ada),
+            format!("{}", ada.suspensions),
+            format!("{}", ada.probes),
+            format!("{}/{}", sta.delivered, sta.total),
+            gp(&sta),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_quick_produces_table() {
+        let report = faults(RunSize::Quick);
+        assert!(report.contains("Faulted bulk transfer"));
+        assert!(report.contains("storm"));
+        // the zero-fault row must deliver on both engines
+        assert!(report.contains("1/1"));
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod characterization;
 pub mod engine;
+pub mod faults;
 pub mod link_experiments;
 pub mod network;
 pub mod ocean;
@@ -60,15 +61,16 @@ pub fn run_experiment(name: &str, size: RunSize) -> Option<String> {
         "delayspread" => characterization::delay_spread(),
         "ocean" => ocean::ocean(size),
         "transfer" => transfer::transfer(size),
+        "faults" => faults::faults(size),
         _ => return None,
     })
 }
 
 /// All experiment names in paper order (fig12 covers Fig. 13 too;
 /// `detector` is this repo's added ablation, `ocean` the event-driven
-/// ocean-scale deployment study, and `transfer` the bulk file-transfer
-/// goodput study).
-pub const ALL_EXPERIMENTS: [&str; 22] = [
+/// ocean-scale deployment study, `transfer` the bulk file-transfer
+/// goodput study, and `faults` the fault-injection robustness study).
+pub const ALL_EXPERIMENTS: [&str; 23] = [
     "fig3a",
     "fig3b",
     "fig3cd",
@@ -91,4 +93,5 @@ pub const ALL_EXPERIMENTS: [&str; 22] = [
     "delayspread",
     "ocean",
     "transfer",
+    "faults",
 ];

@@ -65,6 +65,7 @@ fn bulk_cfg(range_m: f64, params: TransferParams, seed: u64) -> BulkConfig {
         params,
         window: 12,
         max_rounds: 24,
+        faults: None,
     }
 }
 
@@ -82,7 +83,7 @@ fn measure(range_m: f64, params: TransferParams, size: RunSize) -> Point {
     let outs: Vec<BulkOutcome> = engine::global().par_map(n, |i| {
         let data = payload_bytes(bytes, 0xF11E ^ (i as u64) << 8);
         let cfg = bulk_cfg(range_m, params, 3000 + 77 * i as u64);
-        run_bulk_transfer(&cfg, &data)
+        run_bulk_transfer(&cfg, &data).expect("non-degenerate transfer config")
     });
     let mut p = Point {
         delivered: 0,

@@ -164,6 +164,16 @@ pub trait SimHooks {
     fn on_reception(&mut self, rx: Reception) {
         let _ = rx;
     }
+    /// If `node` is unavailable (failed or duty-cycle asleep) at `slot`,
+    /// the slot at which it next becomes available; `None` when the node
+    /// is up. A state event for an unavailable node is *deferred* to the
+    /// wake slot — no node state mutates and no RNG is drawn — so an
+    /// always-`None` implementation is bit-identical to not having the
+    /// hook at all (the oracle-equivalence contract).
+    fn wake_at(&self, node: usize, slot: u64) -> Option<u64> {
+        let _ = (node, slot);
+        None
+    }
 }
 
 /// Aggregate facts about one event-driven run.
@@ -386,6 +396,13 @@ impl<'a, M: Medium, H: SimHooks> EventCore<'a, M, H> {
     }
 
     fn process_state(&mut self, t: u64, i: usize) {
+        // A churned-out node sleeps through its event: defer to the wake
+        // slot untouched (no state change, no RNG draw), so a no-churn
+        // hook leaves the trajectory bit-identical.
+        if let Some(wake) = self.hooks.wake_at(i, t) {
+            self.push_state(wake.max(t + 1), i);
+            return;
+        }
         match self.nodes[i].state {
             NState::Waiting { when } => {
                 debug_assert!(t >= when);

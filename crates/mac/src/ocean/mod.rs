@@ -31,12 +31,14 @@
 //! `aqua-eval` drives 10 000-node, 24 h simulated deployments through
 //! this entry point. See DESIGN.md §11.
 
+pub mod churn;
 pub mod event;
 pub mod per_table;
 pub mod phy;
 pub mod stats;
 pub mod topology;
 
+pub use churn::ChurnConfig;
 pub use event::simulate_events;
 pub use per_table::{Band, PerTable};
 pub use topology::TopologyKind;
@@ -44,6 +46,7 @@ pub use topology::TopologyKind;
 use crate::netsim::MacConfig;
 use aqua_par::Pool;
 
+use churn::ChurnSchedule;
 use event::{EventCore, Reception, SimHooks};
 use phy::PhyResolver;
 use stats::{jain_fairness, CollisionWindow, LatencyHist};
@@ -66,6 +69,9 @@ pub struct OceanConfig {
     pub seed: u64,
     /// Receptions buffered before a parallel resolution flush.
     pub batch: usize,
+    /// Node churn model: hard failures and duty-cycle sleep
+    /// ([`ChurnConfig::none`] for an always-on fleet).
+    pub churn: ChurnConfig,
 }
 
 impl OceanConfig {
@@ -87,6 +93,7 @@ impl OceanConfig {
             band: Band::Adaptive,
             seed,
             batch: 1024,
+            churn: ChurnConfig::none(),
         }
     }
 }
@@ -109,6 +116,11 @@ pub struct OceanResult {
     pub delivery_rate: f64,
     /// Receptions lost because the destination was itself transmitting.
     pub dest_busy_losses: u64,
+    /// Receptions lost because the destination was failed or asleep for
+    /// some part of the arrival window.
+    pub churn_losses: u64,
+    /// Fraction of the run the average node spent unavailable.
+    pub downtime_frac: f64,
     /// Receptions that required the sample-level overlap path.
     pub overlap_receptions: u64,
     /// Fraction of transmissions colliding (same metric as fig19).
@@ -142,6 +154,9 @@ struct OceanHooks<'a> {
     medium: &'a GeoMedium,
     phy: &'a PhyResolver,
     pool: &'a Pool,
+    churn: &'a ChurnSchedule,
+    slot_s: f64,
+    packet_duration_s: f64,
     batch: usize,
     pending: Vec<Reception>,
     collisions: CollisionWindow,
@@ -151,6 +166,7 @@ struct OceanHooks<'a> {
     receptions: u64,
     delivered: u64,
     dest_busy_losses: u64,
+    churn_losses: u64,
     overlap_receptions: u64,
     peak_window: usize,
 }
@@ -199,10 +215,23 @@ impl SimHooks for OceanHooks<'_> {
         self.peak_window = self.peak_window.max(self.collisions.window_len());
     }
     fn on_reception(&mut self, rx: Reception) {
+        // A destination that is failed or asleep for any part of the
+        // arrival window hears nothing: the reception is accounted (it
+        // was addressed traffic) but lost before the PHY ever runs.
+        let a = (rx.arrival_s / self.slot_s).floor().max(0.0) as u64;
+        let b = ((rx.arrival_s + self.packet_duration_s) / self.slot_s).ceil() as u64;
+        if self.churn.down_during(rx.dest as usize, a, b) {
+            self.receptions += 1;
+            self.churn_losses += 1;
+            return;
+        }
         self.pending.push(rx);
         if self.pending.len() >= self.batch {
             self.flush();
         }
+    }
+    fn wake_at(&self, node: usize, slot: u64) -> Option<u64> {
+        self.churn.wake_at(node, slot)
     }
 }
 
@@ -214,11 +243,24 @@ pub fn run_ocean(cfg: &OceanConfig, pool: &Pool) -> OceanResult {
     let topo = OceanTopology::generate(cfg.kind, cfg.nodes, cfg.seed, &rg);
     let medium = GeoMedium::new(topo.positions.clone(), rg);
     let phy = PhyResolver::new(cfg.band, rg, cfg.mac.packet_duration_s, cfg.seed);
+    let max_slots = (cfg.sim_duration_s / cfg.mac.slot_s).ceil() as u64;
+    // The churn stream is salted away from the MAC/PHY seed so outage
+    // timing and traffic randomness never alias.
+    let churn = ChurnSchedule::generate(
+        &cfg.churn,
+        cfg.nodes,
+        max_slots,
+        cfg.mac.slot_s,
+        cfg.seed ^ 0xC08A_12D5,
+    );
     let mut hooks = OceanHooks {
         topo: &topo,
         medium: &medium,
         phy: &phy,
         pool,
+        churn: &churn,
+        slot_s: cfg.mac.slot_s,
+        packet_duration_s: cfg.mac.packet_duration_s,
         batch: cfg.batch.max(1),
         pending: Vec::new(),
         collisions: CollisionWindow::new(cfg.nodes, cfg.mac.packet_duration_s),
@@ -228,10 +270,10 @@ pub fn run_ocean(cfg: &OceanConfig, pool: &Pool) -> OceanResult {
         receptions: 0,
         delivered: 0,
         dest_busy_losses: 0,
+        churn_losses: 0,
         overlap_receptions: 0,
         peak_window: 0,
     };
-    let max_slots = (cfg.sim_duration_s / cfg.mac.slot_s).ceil() as u64;
     let core = EventCore::new(&cfg.mac, &medium, &mut hooks, cfg.seed).run(max_slots);
     hooks.flush();
     let (collision_fraction, _per_node) = hooks.collisions.finish();
@@ -253,6 +295,8 @@ pub fn run_ocean(cfg: &OceanConfig, pool: &Pool) -> OceanResult {
         delivered: hooks.delivered,
         delivery_rate,
         dest_busy_losses: hooks.dest_busy_losses,
+        churn_losses: hooks.churn_losses,
+        downtime_frac: churn.mean_downtime_frac(),
         overlap_receptions: hooks.overlap_receptions,
         collision_fraction,
         latency_mean_s: hooks.latency.mean(),
@@ -282,6 +326,39 @@ mod tests {
         assert!(r.delivery_rate > 0.5, "sparse CS network delivers: {r:?}");
         assert!((0.0..=1.0).contains(&r.fairness));
         assert!(r.peak_heap <= 36 + r.receptions as usize);
+    }
+
+    #[test]
+    fn churned_fleet_loses_traffic_to_outages() {
+        let clean = OceanConfig::deployment(TopologyKind::Grid, 36, 1800.0, 7);
+        let mut churned = clean.clone();
+        churned.churn = ChurnConfig {
+            mtbf_s: 300.0,
+            mttr_s: 120.0,
+            duty_cycle: 0.7,
+            duty_period_s: 60.0,
+        };
+        let a = run_ocean(&clean, &Pool::new(1));
+        let b = run_ocean(&churned, &Pool::new(1));
+        assert_eq!(a.churn_losses, 0);
+        assert_eq!(a.downtime_frac, 0.0);
+        assert!(b.downtime_frac > 0.1, "outages scheduled: {b:?}");
+        assert!(
+            b.churn_losses > 0,
+            "asleep destinations lose packets: {b:?}"
+        );
+        assert!(
+            b.transmissions < a.transmissions,
+            "sleeping senders transmit less: {} vs {}",
+            b.transmissions,
+            a.transmissions
+        );
+        assert!(b.delivered > 0, "the fleet still functions: {b:?}");
+        // Reruns of the churned config are exactly reproducible.
+        let b2 = run_ocean(&churned, &Pool::new(1));
+        assert_eq!(b.transmissions, b2.transmissions);
+        assert_eq!(b.churn_losses, b2.churn_losses);
+        assert_eq!(b.delivered, b2.delivered);
     }
 
     #[test]

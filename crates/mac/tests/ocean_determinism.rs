@@ -6,7 +6,7 @@
 //! construction, and each reception outcome is a pure function of
 //! `(reception, seed)` resolved in item order.
 
-use aqua_mac::ocean::{run_ocean, OceanConfig, OceanResult, TopologyKind};
+use aqua_mac::ocean::{run_ocean, ChurnConfig, OceanConfig, OceanResult, TopologyKind};
 use aqua_par::Pool;
 
 fn assert_result_identical(par: &OceanResult, ser: &OceanResult, threads: usize) {
@@ -24,6 +24,12 @@ fn assert_result_identical(par: &OceanResult, ser: &OceanResult, threads: usize)
         ser.delivery_rate
     );
     assert_eq!(par.dest_busy_losses, ser.dest_busy_losses, "{ctx}");
+    assert_eq!(par.churn_losses, ser.churn_losses, "{ctx}");
+    assert_eq!(
+        par.downtime_frac.to_bits(),
+        ser.downtime_frac.to_bits(),
+        "{ctx}"
+    );
     assert_eq!(par.overlap_receptions, ser.overlap_receptions, "{ctx}");
     assert_eq!(
         par.collision_fraction.to_bits(),
@@ -87,4 +93,45 @@ fn grid_run_is_pool_invariant_too() {
     let serial = run_ocean(&cfg, &Pool::new(1));
     let par = run_ocean(&cfg, &Pool::new(4).with_chunk(1));
     assert_result_identical(&par, &serial, 4);
+}
+
+#[test]
+fn churned_fleet_is_pool_invariant() {
+    // Churn shifts MAC event timing (deferred wakeups) and drops
+    // asleep-destination receptions before the parallel PHY ever sees
+    // them — neither may depend on worker count.
+    let mut cfg = OceanConfig::deployment(TopologyKind::Swarm, 48, 900.0, 11);
+    cfg.mac.inter_packet_gap_s = (20.0, 60.0);
+    cfg.mac.initial_delay_s = (0.0, 30.0);
+    cfg.batch = 8;
+    cfg.churn = ChurnConfig {
+        mtbf_s: 200.0,
+        mttr_s: 90.0,
+        duty_cycle: 0.8,
+        duty_period_s: 45.0,
+    };
+    let serial = run_ocean(&cfg, &Pool::new(1));
+    assert!(serial.churn_losses > 0, "churn must bite: {serial:?}");
+    assert!(serial.delivered > 0, "fleet must still deliver: {serial:?}");
+    for threads in [2usize, 4] {
+        let par = run_ocean(&cfg, &Pool::new(threads).with_chunk(1));
+        assert_result_identical(&par, &serial, threads);
+    }
+}
+
+#[test]
+fn zero_downtime_churn_is_bit_identical_to_none() {
+    // A churn config that schedules no outages must leave the whole run
+    // untouched — the wake_at seam defers nothing and draws nothing.
+    let base = OceanConfig::deployment(TopologyKind::Swarm, 40, 900.0, 23);
+    let mut zero = base.clone();
+    zero.churn = ChurnConfig {
+        mtbf_s: 0.0,
+        mttr_s: 0.0,
+        duty_cycle: 1.0,
+        duty_period_s: 600.0,
+    };
+    let a = run_ocean(&base, &Pool::new(1));
+    let b = run_ocean(&zero, &Pool::new(1));
+    assert_result_identical(&a, &b, 1);
 }

@@ -117,20 +117,59 @@ pub struct TransferPlan {
     pub params: TransferParams,
 }
 
+/// Why a transfer plan (or the engine consuming it) rejected its inputs.
+/// The bulk engines return these as typed errors instead of panicking in
+/// the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// `total_bytes` was 0 — nothing to transfer.
+    EmptyTransfer,
+    /// `frag_bytes` was 0.
+    ZeroFragmentSize,
+    /// `gen_data` was 0.
+    ZeroGenerationData,
+    /// `gen_data + parity` exceeds the GF(256) RS code length.
+    GenerationTooLarge,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyTransfer => write!(f, "empty transfer"),
+            Self::ZeroFragmentSize => write!(f, "fragment size must be positive"),
+            Self::ZeroGenerationData => write!(f, "generation needs data fragments"),
+            Self::GenerationTooLarge => write!(f, "RS generation exceeds GF(256)"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 impl TransferPlan {
-    /// Builds a plan; panics on degenerate geometry.
-    pub fn new(total_bytes: usize, params: TransferParams) -> Self {
-        assert!(total_bytes > 0, "empty transfer");
-        assert!(params.frag_bytes > 0, "fragment size must be positive");
-        assert!(params.gen_data > 0, "generation needs data fragments");
-        assert!(
-            params.gen_data + params.parity <= 255,
-            "RS generation exceeds GF(256)"
-        );
-        Self {
+    /// Builds a plan, rejecting degenerate geometry with a typed error.
+    pub fn try_new(total_bytes: usize, params: TransferParams) -> Result<Self, PlanError> {
+        if total_bytes == 0 {
+            return Err(PlanError::EmptyTransfer);
+        }
+        if params.frag_bytes == 0 {
+            return Err(PlanError::ZeroFragmentSize);
+        }
+        if params.gen_data == 0 {
+            return Err(PlanError::ZeroGenerationData);
+        }
+        if params.gen_data + params.parity > 255 {
+            return Err(PlanError::GenerationTooLarge);
+        }
+        Ok(Self {
             total_bytes,
             params,
-        }
+        })
+    }
+
+    /// Builds a plan; panics on degenerate geometry (use
+    /// [`Self::try_new`] where the inputs are not statically known-good).
+    pub fn new(total_bytes: usize, params: TransferParams) -> Self {
+        Self::try_new(total_bytes, params).expect("degenerate transfer geometry")
     }
 
     /// Number of data fragments.
@@ -375,6 +414,33 @@ mod tests {
                 parity,
             },
         )
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_geometry_with_typed_errors() {
+        let p = TransferParams::default_rs();
+        assert_eq!(TransferPlan::try_new(0, p), Err(PlanError::EmptyTransfer));
+        assert_eq!(
+            TransferPlan::try_new(100, TransferParams { frag_bytes: 0, ..p }),
+            Err(PlanError::ZeroFragmentSize)
+        );
+        assert_eq!(
+            TransferPlan::try_new(100, TransferParams { gen_data: 0, ..p }),
+            Err(PlanError::ZeroGenerationData)
+        );
+        assert_eq!(
+            TransferPlan::try_new(
+                100,
+                TransferParams {
+                    gen_data: 200,
+                    parity: 100,
+                    ..p
+                }
+            ),
+            Err(PlanError::GenerationTooLarge)
+        );
+        assert!(TransferPlan::try_new(100, p).is_ok());
+        assert_eq!(format!("{}", PlanError::EmptyTransfer), "empty transfer");
     }
 
     #[test]
