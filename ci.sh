@@ -123,6 +123,22 @@ echo "==> fault injection: determinism + block-ACK fuzz + blackout acceptance"
 cargo test -q -p aqua-channel --release --test fault_determinism
 cargo test -q -p aquapp --release --test ack_fuzz --test bulk_faults
 
+echo "==> DTN relay: frame fuzz + custody props + determinism + acceptance"
+# PR 9 contracts, run in release where the fuzz case counts and the
+# multi-hour simulated acceptance runs are cheap: the bundle/beacon/
+# custody-ACK parsers must reject every corrupted bitstream, custody
+# must never double-accept or double-deliver and the spray arithmetic
+# must conserve the copy budget; relay-enabled churned runs must be
+# bit-identical across 1/2/4-worker pools; hooks-disabled ocean runs
+# must still reproduce the pre-relay pinned baselines float-for-float
+# (covered by ocean_determinism above); a 2 KB payload must cross a
+# 3-hop chain bit-exact while the middle relay churns mid-custody; and
+# a partitioned swarm must deliver through a surfacing gateway where
+# direct transmission provably cannot.
+cargo test -q -p aqua-net --release \
+  --test frame_fuzz --test custody_props \
+  --test relay_determinism --test relay_acceptance
+
 echo "==> perf smoke: transfer_goodput (PR 7 bulk pipeline)"
 # One 480 B selective-repeat transfer (24 packet exchanges + block ACKs)
 # is ~142 ms on this container; the RS striping of 2 KB is ~0.25 ms.
@@ -178,6 +194,18 @@ if [ "$ELAPSED" -gt 60 ]; then
   exit 1
 fi
 echo "throughput-smoke ok: repro ocean quick in ${ELAPSED}s (budget 60 s)"
+
+echo "==> throughput smoke: repro relay quick end-to-end under 60 s"
+# The 60-node 3-simulated-hour churn sweep (6 runs, direct + dtn at
+# three intensities): ~1 s typical; 60 s budget is container slack.
+START=$(date +%s)
+cargo run -q -p aqua-eval --release --bin repro -- relay quick >/dev/null
+ELAPSED=$(($(date +%s) - START))
+if [ "$ELAPSED" -gt 60 ]; then
+  echo "throughput-smoke FAIL: repro relay quick took ${ELAPSED}s (> 60 s)"
+  exit 1
+fi
+echo "throughput-smoke ok: repro relay quick in ${ELAPSED}s (budget 60 s)"
 
 echo "==> throughput smoke: repro fig9 quick end-to-end under 60 s"
 START=$(date +%s)

@@ -7,7 +7,7 @@
 //!   repro fig9 full         # the environments experiment at paper scale
 //!   repro list              # list available experiments
 
-use aqua_eval::{engine, run_experiment, RunSize, ALL_EXPERIMENTS};
+use aqua_eval::{engine, run_experiment, RunSize, ALL_EXPERIMENTS, EXPERIMENT_HELP};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,8 +18,8 @@ fn main() {
         .unwrap_or(RunSize::Standard);
 
     if which == "list" {
-        for name in ALL_EXPERIMENTS {
-            println!("{name}");
+        for (name, help) in EXPERIMENT_HELP {
+            println!("{name:<12} {help}");
         }
         return;
     }

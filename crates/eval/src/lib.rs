@@ -21,6 +21,7 @@ pub mod faults;
 pub mod link_experiments;
 pub mod network;
 pub mod ocean;
+pub mod relay;
 pub mod robustness;
 pub mod runner;
 pub mod table;
@@ -62,6 +63,7 @@ pub fn run_experiment(name: &str, size: RunSize) -> Option<String> {
         "ocean" => ocean::ocean(size),
         "transfer" => transfer::transfer(size),
         "faults" => faults::faults(size),
+        "relay" => relay::relay(size),
         _ => return None,
     })
 }
@@ -69,8 +71,9 @@ pub fn run_experiment(name: &str, size: RunSize) -> Option<String> {
 /// All experiment names in paper order (fig12 covers Fig. 13 too;
 /// `detector` is this repo's added ablation, `ocean` the event-driven
 /// ocean-scale deployment study, `transfer` the bulk file-transfer
-/// goodput study, and `faults` the fault-injection robustness study).
-pub const ALL_EXPERIMENTS: [&str; 23] = [
+/// goodput study, `faults` the fault-injection robustness study, and
+/// `relay` the DTN multi-hop delivery study over churned fleets).
+pub const ALL_EXPERIMENTS: [&str; 24] = [
     "fig3a",
     "fig3b",
     "fig3cd",
@@ -94,4 +97,66 @@ pub const ALL_EXPERIMENTS: [&str; 23] = [
     "ocean",
     "transfer",
     "faults",
+    "relay",
 ];
+
+/// One-line help per experiment, in [`ALL_EXPERIMENTS`] order — what
+/// `repro list` prints. A unit test pins the two registries to each
+/// other and to [`run_experiment`]'s dispatch table.
+pub const EXPERIMENT_HELP: [(&str, &str); 24] = [
+    ("fig3a", "recorded channel frequency response"),
+    ("fig3b", "recorded noise floor spectra"),
+    ("fig3cd", "recorded multipath delay profiles"),
+    ("fig4", "OFDM symbol structure walkthrough"),
+    ("fig8", "throughput vs range, lake deployment"),
+    ("fig9", "PER vs range across environments"),
+    ("fig10", "bitrate adaptation ladder"),
+    ("fig11", "throughput under mobility"),
+    ("fig12", "pool/bridge/lake PER (covers fig13)"),
+    ("fig12d", "two-device interference PER"),
+    ("fig14", "clock-drift robustness"),
+    ("fig15", "preamble detection ROC"),
+    ("fig16", "CFO estimation accuracy"),
+    ("fig17", "per-category message latency"),
+    ("fig18", "codebook category distribution"),
+    ("fig19", "carrier-sense collision fractions"),
+    ("preamble", "preamble/feedback detection stats"),
+    ("detector", "detector ablation (repo addition)"),
+    ("latency", "end-to-end message latency CDF"),
+    ("delayspread", "delay spread characterization"),
+    ("ocean", "event-driven ocean-scale deployments"),
+    ("transfer", "bulk transfer goodput (RS + ARQ)"),
+    ("faults", "fault-injection robustness sweep"),
+    ("relay", "DTN multi-hop delivery vs churn, direct vs relay"),
+];
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn help_listing_matches_experiment_registry() {
+        assert_eq!(
+            ALL_EXPERIMENTS.len(),
+            EXPERIMENT_HELP.len(),
+            "every experiment needs a help line"
+        );
+        for (name, (help_name, help)) in ALL_EXPERIMENTS.iter().zip(EXPERIMENT_HELP) {
+            assert_eq!(*name, help_name, "registries must list the same order");
+            assert!(!help.is_empty());
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut names: Vec<&str> = ALL_EXPERIMENTS.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_EXPERIMENTS.len());
+    }
+
+    #[test]
+    fn unknown_experiment_is_rejected() {
+        assert!(run_experiment("no-such-figure", RunSize::Quick).is_none());
+    }
+}

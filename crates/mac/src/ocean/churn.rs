@@ -130,6 +130,22 @@ impl ChurnSchedule {
         Self { down, max_slots }
     }
 
+    /// A schedule from explicit per-node downtime intervals in slot units
+    /// (scenario scripts: a single duty-cycled gateway in an otherwise
+    /// always-on fleet, a relay failing mid-custody). Intervals must be
+    /// disjoint, ascending and within `max_slots`.
+    pub fn from_intervals(down: Vec<Vec<(u64, u64)>>, max_slots: u64) -> Self {
+        for iv in &down {
+            for w in iv.windows(2) {
+                assert!(w[0].1 < w[1].0, "intervals must be disjoint ascending");
+            }
+            for &(s, e) in iv {
+                assert!(s < e && e <= max_slots, "interval ({s}, {e}) out of range");
+            }
+        }
+        Self { down, max_slots }
+    }
+
     /// If `node` is unavailable at `slot`, the slot at which it next
     /// wakes; `None` when available.
     pub fn wake_at(&self, node: usize, slot: u64) -> Option<u64> {

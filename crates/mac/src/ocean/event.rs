@@ -141,9 +141,14 @@ pub struct Reception {
 /// uses the inert defaults; the ocean mode supplies destinations,
 /// propagation delays and stats sinks.
 pub trait SimHooks {
-    /// Destination node for `node`'s packets (`None`: broadcast-only, no
-    /// reception tracking — the oracle mode).
-    fn dest(&self, node: usize) -> Option<u32> {
+    /// Destination node for the packet `node` starts transmitting *now*
+    /// (`None`: broadcast-only, no reception tracking — the oracle mode).
+    /// Called exactly once per transmission, immediately after
+    /// [`SimHooks::on_transmit`]; the answer is captured into the resolve
+    /// event, so a relay layer may choose a different destination per
+    /// packet. Takes `&mut self` for exactly that reason — static
+    /// implementations simply ignore the mutability.
+    fn dest(&mut self, node: usize) -> Option<u32> {
         let _ = node;
         None
     }
@@ -218,6 +223,8 @@ struct Ev {
     seq: u64,
     /// Resolve payload: transmission start slot.
     start_slot: u64,
+    /// Resolve payload: destination captured at transmission start.
+    dest: u32,
     /// Resolve payload: access delay of that transmission (seconds).
     access_s: f64,
 }
@@ -293,6 +300,7 @@ impl<'a, M: Medium, H: SimHooks> EventCore<'a, M, H> {
                 kind: KIND_STATE,
                 seq: 0,
                 start_slot: 0,
+                dest: 0,
                 access_s: 0.0,
             }));
         }
@@ -333,7 +341,12 @@ impl<'a, M: Medium, H: SimHooks> EventCore<'a, M, H> {
             last_slot = ev.slot;
             match ev.kind {
                 KIND_STATE => self.process_state(ev.slot, ev.node as usize),
-                _ => self.process_resolve(ev.node as usize, ev.start_slot, ev.access_s),
+                _ => self.process_resolve(
+                    ev.node as usize,
+                    ev.dest as usize,
+                    ev.start_slot,
+                    ev.access_s,
+                ),
             }
             self.peak_heap = self.peak_heap.max(self.heap.len());
         }
@@ -343,7 +356,12 @@ impl<'a, M: Medium, H: SimHooks> EventCore<'a, M, H> {
             while let Some(Reverse(ev)) = self.heap.pop() {
                 if ev.kind == KIND_RESOLVE {
                     self.events += 1;
-                    self.process_resolve(ev.node as usize, ev.start_slot, ev.access_s);
+                    self.process_resolve(
+                        ev.node as usize,
+                        ev.dest as usize,
+                        ev.start_slot,
+                        ev.access_s,
+                    );
                 }
             }
         }
@@ -366,6 +384,7 @@ impl<'a, M: Medium, H: SimHooks> EventCore<'a, M, H> {
             kind: KIND_STATE,
             seq: 0,
             start_slot: 0,
+            dest: 0,
             access_s: 0.0,
         }));
     }
@@ -486,6 +505,7 @@ impl<'a, M: Medium, H: SimHooks> EventCore<'a, M, H> {
                     kind: KIND_RESOLVE,
                     seq: self.seq,
                     start_slot: t,
+                    dest: d,
                     access_s,
                 }));
             }
@@ -493,10 +513,10 @@ impl<'a, M: Medium, H: SimHooks> EventCore<'a, M, H> {
     }
 
     /// Closes the reception window of `i`'s transmission started at
-    /// `start_slot`: captures half-duplex state and every overlapping
-    /// interferer at the destination, then hands off to the hooks.
-    fn process_resolve(&mut self, i: usize, start_slot: u64, access_s: f64) {
-        let d = self.hooks.dest(i).expect("resolve implies dest") as usize;
+    /// `start_slot` toward the destination `d` captured at transmission
+    /// start: captures half-duplex state and every overlapping interferer
+    /// at the destination, then hands off to the hooks.
+    fn process_resolve(&mut self, i: usize, d: usize, start_slot: u64, access_s: f64) {
         let dur = self.cfg.packet_duration_s;
         let start_s = start_slot as f64 * self.cfg.slot_s;
         let prop = self.hooks.prop_delay_s(i, d);

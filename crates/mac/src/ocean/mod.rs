@@ -197,7 +197,7 @@ impl<'a> OceanHooks<'a> {
 }
 
 impl SimHooks for OceanHooks<'_> {
-    fn dest(&self, node: usize) -> Option<u32> {
+    fn dest(&mut self, node: usize) -> Option<u32> {
         match self.topo.dest[node] {
             NO_DEST => None,
             d => Some(d),

@@ -119,6 +119,94 @@ fn churned_fleet_is_pool_invariant() {
     }
 }
 
+/// Pinned baselines captured before the relay stack landed: a plain
+/// (hooks-disabled) ocean run must still produce these exact numbers,
+/// float for float. The `SimHooks` seam the relay tier plugs into must
+/// leave the default trajectory — MAC decisions, RNG stream, PHY draws —
+/// completely untouched. Any drift here means the seam leaked.
+mod pinned_baselines {
+    use super::*;
+
+    fn swarm_cfg() -> OceanConfig {
+        let mut cfg = OceanConfig::deployment(TopologyKind::Swarm, 48, 900.0, 11);
+        cfg.mac.inter_packet_gap_s = (20.0, 60.0);
+        cfg.mac.initial_delay_s = (0.0, 30.0);
+        cfg.batch = 8;
+        cfg
+    }
+
+    #[test]
+    fn plain_swarm_matches_pre_relay_capture() {
+        let r = run_ocean(&swarm_cfg(), &Pool::new(1));
+        assert_eq!(r.transmissions, 1050);
+        assert_eq!(r.receptions, 1050);
+        assert_eq!(r.delivered, 1032);
+        assert_eq!(r.delivery_rate.to_bits(), 0.9828571428571429f64.to_bits());
+        assert_eq!(r.dest_busy_losses, 1);
+        assert_eq!(r.churn_losses, 0);
+        assert_eq!(r.overlap_receptions, 660);
+        assert_eq!(
+            r.collision_fraction.to_bits(),
+            0.5933333333333334f64.to_bits()
+        );
+        assert_eq!(r.latency_mean_s.to_bits(), 1.0756141806825923f64.to_bits());
+        assert_eq!(r.latency_p50_s.to_bits(), 0.5725487884358379f64.to_bits());
+        assert_eq!(r.latency_p90_s.to_bits(), 2.8902639100224503f64.to_bits());
+        assert_eq!(r.fairness.to_bits(), 0.9958707360861759f64.to_bits());
+        assert_eq!(r.events, 9989);
+        assert_eq!(r.peak_heap, 53);
+        assert_eq!(r.peak_collision_window, 4);
+        assert_eq!(r.probe_renders, 104);
+        assert_eq!(r.mean_degree.to_bits(), 47.0f64.to_bits());
+    }
+
+    #[test]
+    fn churned_swarm_matches_pre_relay_capture() {
+        let mut cfg = swarm_cfg();
+        cfg.churn = ChurnConfig {
+            mtbf_s: 200.0,
+            mttr_s: 90.0,
+            duty_cycle: 0.8,
+            duty_period_s: 45.0,
+        };
+        let r = run_ocean(&cfg, &Pool::new(1));
+        assert_eq!(r.transmissions, 792);
+        assert_eq!(r.delivered, 440);
+        assert_eq!(r.delivery_rate.to_bits(), 0.5555555555555556f64.to_bits());
+        assert_eq!(r.churn_losses, 343);
+        assert_eq!(r.downtime_frac.to_bits(), 0.4224462962962963f64.to_bits());
+        assert_eq!(r.overlap_receptions, 233);
+        assert_eq!(
+            r.collision_fraction.to_bits(),
+            0.5227272727272727f64.to_bits()
+        );
+        assert_eq!(r.latency_mean_s.to_bits(), 12.858549419039925f64.to_bits());
+        assert_eq!(r.latency_p90_s.to_bits(), 20.90800041278718f64.to_bits());
+        assert_eq!(r.fairness.to_bits(), 0.848408357874071f64.to_bits());
+        assert_eq!(r.events, 6165);
+        assert_eq!(r.peak_heap, 51);
+        assert_eq!(r.probe_renders, 86);
+    }
+
+    #[test]
+    fn plain_grid_matches_pre_relay_capture() {
+        let cfg = OceanConfig::deployment(TopologyKind::Grid, 49, 600.0, 5);
+        let r = run_ocean(&cfg, &Pool::new(1));
+        assert_eq!(r.transmissions, 115);
+        assert_eq!(r.delivered, 88);
+        assert_eq!(r.delivery_rate.to_bits(), 0.7652173913043478f64.to_bits());
+        assert_eq!(
+            r.collision_fraction.to_bits(),
+            0.26956521739130435f64.to_bits()
+        );
+        assert_eq!(r.latency_mean_s.to_bits(), 0.5621497222391182f64.to_bits());
+        assert_eq!(r.fairness.to_bits(), 0.8231292517006803f64.to_bits());
+        assert_eq!(r.events, 345);
+        assert_eq!(r.peak_heap, 52);
+        assert_eq!(r.mean_degree.to_bits(), 44.0f64.to_bits());
+    }
+}
+
 #[test]
 fn zero_downtime_churn_is_bit_identical_to_none() {
     // A churn config that schedules no outages must leave the whole run

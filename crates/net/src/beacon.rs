@@ -1,0 +1,170 @@
+//! Neighbor discovery: beacons and the per-node neighbor table.
+//!
+//! A relay with nothing useful to forward spends its MAC grant on a
+//! beacon — address, a beacon sequence number, and its advertised queue
+//! backlog. Any frame *received* from a node (beacon or not) proves the
+//! link works right now, so the neighbor table is fed from every
+//! reception, and entries expire after a configurable silence window:
+//! a neighbor that drifted out of range or went to sleep stops being a
+//! spray target without any explicit teardown.
+//!
+//! Wire layout: `node(2) seq(2) backlog(1) crc16(2)` — 56 bits.
+
+use crate::error::NetParseError;
+use aqua_coding::bits::{bits_to_value, bytes_to_bits, value_to_bits};
+use aqua_coding::crc::crc16;
+use std::collections::BTreeMap;
+
+/// Beacon frame bits.
+pub const BEACON_BITS: usize = 56;
+
+/// One neighbor-discovery beacon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Beacon {
+    /// Beaconing node's address.
+    pub node: u16,
+    /// Per-node beacon sequence number (wraps).
+    pub seq: u16,
+    /// Sender's store-and-forward backlog, saturated at 255.
+    pub backlog: u8,
+}
+
+impl Beacon {
+    /// Serializes to wire bits (without the frame tag).
+    pub fn to_bits(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(5);
+        bytes.extend_from_slice(&self.node.to_be_bytes());
+        bytes.extend_from_slice(&self.seq.to_be_bytes());
+        bytes.push(self.backlog);
+        let crc = crc16(&bytes);
+        let mut bits = bytes_to_bits(&bytes);
+        bits.extend(value_to_bits(crc as u64, 16));
+        bits
+    }
+
+    /// Parses wire bits.
+    pub fn try_from_bits(bits: &[u8]) -> Result<Self, NetParseError> {
+        if bits.len() < BEACON_BITS {
+            return Err(NetParseError::Truncated {
+                need: BEACON_BITS,
+                got: bits.len(),
+            });
+        }
+        if bits.len() != BEACON_BITS {
+            return Err(NetParseError::LengthMismatch {
+                expect: BEACON_BITS,
+                got: bits.len(),
+            });
+        }
+        let bytes: Vec<u8> = (0..5)
+            .map(|i| bits_to_value(&bits[8 * i..8 * (i + 1)]) as u8)
+            .collect();
+        let crc = bits_to_value(&bits[40..56]) as u16;
+        if crc16(&bytes) != crc {
+            return Err(NetParseError::CrcMismatch);
+        }
+        Ok(Self {
+            node: u16::from_be_bytes([bytes[0], bytes[1]]),
+            seq: u16::from_be_bytes([bytes[2], bytes[3]]),
+            backlog: bytes[4],
+        })
+    }
+}
+
+/// Last-heard times per neighbor, with freshness expiry. Backed by a
+/// `BTreeMap` so iteration order (and therefore spray-target choice) is
+/// deterministic.
+#[derive(Debug, Clone)]
+pub struct NeighborTable {
+    expiry_s: f64,
+    heard: BTreeMap<u16, f64>,
+}
+
+impl NeighborTable {
+    /// A table whose entries go stale after `expiry_s` of silence.
+    pub fn new(expiry_s: f64) -> Self {
+        Self {
+            expiry_s,
+            heard: BTreeMap::new(),
+        }
+    }
+
+    /// Records a frame heard from `node` at `now`.
+    pub fn hear(&mut self, node: u16, now_s: f64) {
+        let t = self.heard.entry(node).or_insert(now_s);
+        *t = t.max(now_s);
+    }
+
+    /// Whether `node` was heard within the freshness window.
+    pub fn is_fresh(&self, node: u16, now_s: f64) -> bool {
+        self.heard
+            .get(&node)
+            .is_some_and(|&t| now_s - t <= self.expiry_s)
+    }
+
+    /// Fresh neighbors in ascending address order.
+    pub fn fresh(&self, now_s: f64) -> impl Iterator<Item = u16> + '_ {
+        let expiry = self.expiry_s;
+        self.heard
+            .iter()
+            .filter(move |&(_, &t)| now_s - t <= expiry)
+            .map(|(&n, _)| n)
+    }
+
+    /// Drops stale entries (bounds memory over long runs).
+    pub fn prune(&mut self, now_s: f64) {
+        let expiry = self.expiry_s;
+        self.heard.retain(|_, &mut t| now_s - t <= expiry);
+    }
+
+    /// Total entries (fresh or stale).
+    pub fn len(&self) -> usize {
+        self.heard.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heard.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beacon_roundtrip_and_rejection() {
+        let b = Beacon {
+            node: 513,
+            seq: 40_000,
+            backlog: 17,
+        };
+        let bits = b.to_bits();
+        assert_eq!(bits.len(), BEACON_BITS);
+        assert_eq!(Beacon::try_from_bits(&bits).unwrap(), b);
+        for flip in 0..BEACON_BITS {
+            let mut bad = bits.clone();
+            bad[flip] ^= 1;
+            assert!(Beacon::try_from_bits(&bad).is_err(), "flip {flip} accepted");
+        }
+        assert!(matches!(
+            Beacon::try_from_bits(&bits[..40]),
+            Err(NetParseError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn neighbors_expire_and_iterate_in_address_order() {
+        let mut t = NeighborTable::new(10.0);
+        t.hear(30, 0.0);
+        t.hear(5, 4.0);
+        t.hear(12, 8.0);
+        assert_eq!(t.fresh(9.0).collect::<Vec<_>>(), vec![5, 12, 30]);
+        assert_eq!(t.fresh(11.0).collect::<Vec<_>>(), vec![5, 12]);
+        assert!(!t.is_fresh(30, 11.0));
+        t.hear(30, 12.0);
+        assert!(t.is_fresh(30, 12.0));
+        t.prune(100.0);
+        assert!(t.is_empty());
+    }
+}

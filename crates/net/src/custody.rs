@@ -1,0 +1,126 @@
+//! Custody transfer: per-hop acknowledgement of storage responsibility.
+//!
+//! In a delay-tolerant network an end-to-end ACK may be hours away, so
+//! reliability is hop-by-hop: a relay that *stores* a bundle sends a
+//! custody ACK back to the hop it received it from, and that hop releases
+//! (or halves, under spray-and-wait) its own copy only on the ACK. A lost
+//! ACK is retried by the upstream holder's RFC 6298 timer; the downstream
+//! relay answers the re-delivered duplicate with a fresh ACK instead of
+//! storing it twice — custody acceptance is idempotent
+//! (`net/tests/custody_props.rs`).
+//!
+//! Wire layout: `custodian(2) src(2) seq(2) frag_index(2) flags(1)
+//! crc16(2)` — 88 bits. `flags` bit 7 set means the custodian *is* the
+//! final destination (the upstream holder drops every remaining copy).
+
+use crate::bundle::BundleKey;
+use crate::error::NetParseError;
+use aqua_coding::bits::{bits_to_value, bytes_to_bits, value_to_bits};
+use aqua_coding::crc::crc16;
+
+/// Custody-ACK frame bits.
+pub const CUSTODY_ACK_BITS: usize = 88;
+
+/// Acknowledgement that `custodian` now stores (or has delivered) the
+/// bundle fragment identified by `(src, seq, frag_index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CustodyAck {
+    /// The node that accepted custody.
+    pub custodian: u16,
+    /// Bundle source address.
+    pub src: u16,
+    /// Bundle sequence number.
+    pub seq: u16,
+    /// Fragment index.
+    pub frag_index: u16,
+    /// The custodian is the bundle's final destination.
+    pub delivered: bool,
+}
+
+impl CustodyAck {
+    /// The acknowledged fragment identity.
+    pub fn key(&self) -> BundleKey {
+        BundleKey {
+            src: self.src,
+            seq: self.seq,
+            frag: self.frag_index,
+        }
+    }
+
+    /// Serializes to wire bits (without the frame tag).
+    pub fn to_bits(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(9);
+        bytes.extend_from_slice(&self.custodian.to_be_bytes());
+        bytes.extend_from_slice(&self.src.to_be_bytes());
+        bytes.extend_from_slice(&self.seq.to_be_bytes());
+        bytes.extend_from_slice(&self.frag_index.to_be_bytes());
+        bytes.push(u8::from(self.delivered) << 7);
+        let crc = crc16(&bytes);
+        let mut bits = bytes_to_bits(&bytes);
+        bits.extend(value_to_bits(crc as u64, 16));
+        bits
+    }
+
+    /// Parses wire bits; reserved flag bits must be zero so accepted
+    /// parses are canonical.
+    pub fn try_from_bits(bits: &[u8]) -> Result<Self, NetParseError> {
+        if bits.len() < CUSTODY_ACK_BITS {
+            return Err(NetParseError::Truncated {
+                need: CUSTODY_ACK_BITS,
+                got: bits.len(),
+            });
+        }
+        if bits.len() != CUSTODY_ACK_BITS {
+            return Err(NetParseError::LengthMismatch {
+                expect: CUSTODY_ACK_BITS,
+                got: bits.len(),
+            });
+        }
+        let bytes: Vec<u8> = (0..9)
+            .map(|i| bits_to_value(&bits[8 * i..8 * (i + 1)]) as u8)
+            .collect();
+        let crc = bits_to_value(&bits[72..88]) as u16;
+        if crc16(&bytes) != crc {
+            return Err(NetParseError::CrcMismatch);
+        }
+        if bytes[8] & 0b0111_1111 != 0 {
+            return Err(NetParseError::InvalidField("reserved flags"));
+        }
+        Ok(Self {
+            custodian: u16::from_be_bytes([bytes[0], bytes[1]]),
+            src: u16::from_be_bytes([bytes[2], bytes[3]]),
+            seq: u16::from_be_bytes([bytes[4], bytes[5]]),
+            frag_index: u16::from_be_bytes([bytes[6], bytes[7]]),
+            delivered: bytes[8] & 0b1000_0000 != 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_single_bit_rejection() {
+        for delivered in [false, true] {
+            let a = CustodyAck {
+                custodian: 7,
+                src: 1000,
+                seq: 3,
+                frag_index: 15,
+                delivered,
+            };
+            let bits = a.to_bits();
+            assert_eq!(bits.len(), CUSTODY_ACK_BITS);
+            assert_eq!(CustodyAck::try_from_bits(&bits).unwrap(), a);
+            for flip in 0..CUSTODY_ACK_BITS {
+                let mut bad = bits.clone();
+                bad[flip] ^= 1;
+                assert!(
+                    CustodyAck::try_from_bits(&bad).is_err(),
+                    "flip {flip} accepted"
+                );
+            }
+        }
+    }
+}

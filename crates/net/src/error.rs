@@ -1,0 +1,54 @@
+//! Typed parse errors for the network-tier wire formats.
+//!
+//! Every `try_from_bits` in this crate returns one of these instead of
+//! panicking or collapsing all failures into `None` — the relay engine
+//! counts and reacts to them, and the fuzz suites assert the *reason* a
+//! corrupted bitstream was rejected, not just that it was.
+
+/// Why a network-tier frame failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetParseError {
+    /// Fewer bits than the smallest possible frame of this type.
+    Truncated {
+        /// Minimum bits required.
+        need: usize,
+        /// Bits actually supplied.
+        got: usize,
+    },
+    /// Bit count disagrees with the length the header declares.
+    LengthMismatch {
+        /// Bits the header implies.
+        expect: usize,
+        /// Bits actually supplied.
+        got: usize,
+    },
+    /// CRC-16 check failed — corrupted in flight.
+    CrcMismatch,
+    /// Unknown frame tag.
+    BadTag(u8),
+    /// A structurally-valid, CRC-clean frame with an incoherent field
+    /// (reserved bits set, fragment index out of range, …). The name
+    /// identifies the offending field.
+    InvalidField(&'static str),
+}
+
+impl std::fmt::Display for NetParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated { need, got } => {
+                write!(f, "truncated frame: need >= {need} bits, got {got}")
+            }
+            Self::LengthMismatch { expect, got } => {
+                write!(
+                    f,
+                    "length mismatch: header implies {expect} bits, got {got}"
+                )
+            }
+            Self::CrcMismatch => write!(f, "CRC-16 mismatch"),
+            Self::BadTag(t) => write!(f, "unknown frame tag {t}"),
+            Self::InvalidField(name) => write!(f, "invalid field: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for NetParseError {}

@@ -1,0 +1,285 @@
+//! Bounded store-and-forward queues with deterministic TTL/priority
+//! eviction, and the bounded duplicate-suppression filter.
+//!
+//! Storage is the scarce resource of a store-and-forward node, so the
+//! queue is capacity-bounded and the eviction policy is explicit and
+//! deterministic:
+//!
+//! - **TTL eviction**: expired bundles are dropped on every tick — a
+//!   bundle's lifetime is bounded no matter what the topology does.
+//! - **Priority eviction**: when the queue is full, an incoming bundle of
+//!   *strictly higher* priority class evicts the stored bundle of the
+//!   worst class (ties broken toward the entry closest to expiry, then by
+//!   bundle key) — SOS preempts chatter, never the reverse, and equal
+//!   classes never thrash each other.
+//!
+//! The duplicate filter is a FIFO-bounded seen-set over [`BundleKey`]s:
+//! memory stays bounded over arbitrarily long runs, and eviction order is
+//! insertion order — fully deterministic.
+
+use crate::bundle::{Bundle, BundleKey};
+use std::collections::{HashSet, VecDeque};
+
+/// Custody state of one stored bundle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CustodyState {
+    /// Forwardable now.
+    Idle,
+    /// Transmitted to `hop`, awaiting its custody ACK until `deadline_s`.
+    AwaitingAck {
+        /// The hop the bundle was forwarded to.
+        hop: u16,
+        /// When it was transmitted (RTT measurement anchor).
+        sent_s: f64,
+        /// RFC 6298 retransmission deadline.
+        deadline_s: f64,
+    },
+}
+
+/// One bundle held by a store-and-forward node.
+#[derive(Debug, Clone)]
+pub struct StoredBundle {
+    /// The bundle (header fields as *this* node will re-transmit them).
+    pub bundle: Bundle,
+    /// The hop this node received it from (itself for sourced bundles).
+    pub came_from: u16,
+    /// Remaining spray-and-wait copies this node owns.
+    pub copies: u8,
+    /// Absolute expiry time (stored-at + remaining TTL).
+    pub expires_s: f64,
+    /// Last transmission time (rotation key; 0 before the first send).
+    pub last_sent_s: f64,
+    /// Custody state.
+    pub state: CustodyState,
+    /// Custody retransmissions so far.
+    pub retries: u32,
+    /// Neighbors already granted copies of this bundle.
+    pub sprayed_to: Vec<u16>,
+}
+
+/// What [`StoreQueue::insert`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Stored; capacity was available.
+    Stored,
+    /// Stored by evicting the named lower-priority bundle.
+    StoredEvicting(BundleKey),
+    /// Queue full of equal-or-better traffic; the bundle was refused
+    /// (the upstream holder keeps custody and retries later).
+    Rejected,
+}
+
+/// Bounded priority store for bundles in custody.
+#[derive(Debug, Clone)]
+pub struct StoreQueue {
+    cap: usize,
+    entries: Vec<StoredBundle>,
+}
+
+impl StoreQueue {
+    /// An empty queue holding at most `cap` bundles.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "store queue needs capacity");
+        Self {
+            cap,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Stored bundles.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Immutable view of the entries (tests, stats).
+    pub fn entries(&self) -> &[StoredBundle] {
+        &self.entries
+    }
+
+    /// Mutable view (the relay engine's selection loop).
+    pub fn entries_mut(&mut self) -> &mut [StoredBundle] {
+        &mut self.entries
+    }
+
+    /// Index of the entry with `key`, if held.
+    pub fn position(&self, key: BundleKey) -> Option<usize> {
+        self.entries.iter().position(|e| e.bundle.key() == key)
+    }
+
+    /// Removes and returns the entry at `idx`.
+    pub fn remove(&mut self, idx: usize) -> StoredBundle {
+        self.entries.remove(idx)
+    }
+
+    /// Inserts a bundle, evicting the worst strictly-lower-priority entry
+    /// when full. Deterministic: the victim is the maximum of
+    /// `(priority class, closest expiry, key)`.
+    pub fn insert(&mut self, entry: StoredBundle) -> InsertOutcome {
+        if self.entries.len() < self.cap {
+            self.entries.push(entry);
+            return InsertOutcome::Stored;
+        }
+        let victim = (0..self.entries.len()).max_by(|&a, &b| {
+            let (ea, eb) = (&self.entries[a], &self.entries[b]);
+            (
+                ea.bundle.priority,
+                std::cmp::Reverse(ea.expires_s.to_bits()),
+            )
+                .cmp(&(
+                    eb.bundle.priority,
+                    std::cmp::Reverse(eb.expires_s.to_bits()),
+                ))
+                .then(ea.bundle.key().cmp(&eb.bundle.key()))
+        });
+        match victim {
+            Some(v) if entry.bundle.priority < self.entries[v].bundle.priority => {
+                let key = self.entries[v].bundle.key();
+                self.entries[v] = entry;
+                InsertOutcome::StoredEvicting(key)
+            }
+            _ => InsertOutcome::Rejected,
+        }
+    }
+
+    /// Drops every expired bundle; returns how many died of TTL.
+    pub fn expire(&mut self, now_s: f64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.expires_s > now_s);
+        before - self.entries.len()
+    }
+}
+
+/// FIFO-bounded seen-set over bundle keys.
+#[derive(Debug, Clone)]
+pub struct DupFilter {
+    cap: usize,
+    seen: HashSet<BundleKey>,
+    order: VecDeque<BundleKey>,
+}
+
+impl DupFilter {
+    /// A filter remembering at most `cap` keys.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "dup filter needs capacity");
+        Self {
+            cap,
+            seen: HashSet::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Whether `key` was seen (and not yet forgotten).
+    pub fn contains(&self, key: BundleKey) -> bool {
+        self.seen.contains(&key)
+    }
+
+    /// Records `key`, forgetting the oldest entry beyond capacity.
+    pub fn insert(&mut self, key: BundleKey) {
+        if self.seen.insert(key) {
+            self.order.push_back(key);
+            while self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.seen.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Keys currently remembered.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{fragment_message, Priority};
+
+    fn stored(src: u16, prio: Priority, expires: f64) -> StoredBundle {
+        let bundle = fragment_message(src, 99, 0, prio, true, 600, 2, &[1, 2, 3], 4)
+            .unwrap()
+            .remove(0);
+        StoredBundle {
+            bundle,
+            came_from: src,
+            copies: 2,
+            expires_s: expires,
+            last_sent_s: 0.0,
+            state: CustodyState::Idle,
+            retries: 0,
+            sprayed_to: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sos_preempts_chatter_but_not_vice_versa() {
+        let mut q = StoreQueue::new(2);
+        assert_eq!(
+            q.insert(stored(1, Priority::Chat, 50.0)),
+            InsertOutcome::Stored
+        );
+        assert_eq!(
+            q.insert(stored(2, Priority::Chat, 90.0)),
+            InsertOutcome::Stored
+        );
+        // Full of chatter: more chatter is refused…
+        assert_eq!(
+            q.insert(stored(3, Priority::Chat, 99.0)),
+            InsertOutcome::Rejected
+        );
+        // …but SOS evicts the chat entry closest to expiry.
+        let out = q.insert(stored(4, Priority::Sos, 10.0));
+        assert_eq!(
+            out,
+            InsertOutcome::StoredEvicting(BundleKey {
+                src: 1,
+                seq: 0,
+                frag: 0
+            })
+        );
+        // Now one chat and one SOS: chat never evicts the SOS entry.
+        assert_eq!(
+            q.insert(stored(5, Priority::Chat, 99.0)),
+            InsertOutcome::Rejected
+        );
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn expiry_drops_dead_bundles() {
+        let mut q = StoreQueue::new(4);
+        q.insert(stored(1, Priority::Chat, 10.0));
+        q.insert(stored(2, Priority::Sos, 20.0));
+        assert_eq!(q.expire(15.0), 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.entries()[0].bundle.src, 2);
+    }
+
+    #[test]
+    fn dup_filter_is_fifo_bounded() {
+        let mut f = DupFilter::new(2);
+        let k = |src| BundleKey {
+            src,
+            seq: 0,
+            frag: 0,
+        };
+        f.insert(k(1));
+        f.insert(k(2));
+        f.insert(k(1)); // re-insert does not reorder or grow
+        assert_eq!(f.len(), 2);
+        f.insert(k(3)); // evicts k(1), the oldest
+        assert!(!f.contains(k(1)));
+        assert!(f.contains(k(2)) && f.contains(k(3)));
+    }
+}

@@ -1,0 +1,508 @@
+//! The relay stack wired into the ocean-scale event simulator.
+//!
+//! [`run_relay_ocean`] drives one [`RelayNode`] per vessel through the
+//! existing event core via the [`SimHooks`] seam: when the MAC grants a
+//! node airtime, the hook asks the relay engine what to say
+//! ([`RelayNode::next_frame`]) and captures the answer — target and wire
+//! frame — into the resolve event; when the PHY delivers the reception,
+//! the frame is re-parsed from its own wire bits (the per-hop round-trip
+//! the bundle CRCs exist for) and fed to the receiving relay.
+//!
+//! **Determinism contract.** Pending receptions are flushed through the
+//! worker pool *before every transmission decision* and at the batch
+//! threshold — both are pool-size-independent points — and
+//! [`aqua_par::Pool::par_map_slice`] preserves item order, so a
+//! relay-enabled run is bit-identical across 1/2/4-worker pools
+//! (`net/tests/relay_determinism.rs`). The hooks below leave the event
+//! core's MAC trajectory and RNG stream untouched relative to the plain
+//! ocean hooks; runs without a relay remain bit-identical to
+//! [`aqua_mac::ocean::run_ocean`] (`mac/tests/ocean_determinism.rs`).
+
+use crate::bundle::{fragment_message, Priority};
+use crate::frame::Frame;
+use crate::relay::{RelayConfig, RelayNode, RelayStats};
+use aqua_channel::geometry::Pos;
+use aqua_mac::netsim::MacConfig;
+use aqua_mac::ocean::churn::ChurnSchedule;
+use aqua_mac::ocean::event::{EventCore, Medium, Reception, SimHooks};
+use aqua_mac::ocean::phy::PhyResolver;
+use aqua_mac::ocean::topology::{GeoMedium, OceanTopology, RangeGain};
+use aqua_mac::ocean::{Band, ChurnConfig, PerTable, TopologyKind};
+use aqua_par::Pool;
+use std::collections::HashMap;
+
+/// Where the fleet sits.
+#[derive(Debug, Clone)]
+pub enum RelayTopology {
+    /// A generated deployment family (same generator as the plain ocean).
+    Kind(TopologyKind),
+    /// Explicit node positions (acceptance tests pin exact geometry).
+    Explicit(Vec<Pos>),
+}
+
+/// The offered application traffic: every message is sourced at `t = 0`
+/// (the store-and-forward queues hold it until the network can move it).
+#[derive(Debug, Clone)]
+pub struct RelayTraffic {
+    /// `(src, dst)` message flows.
+    pub pairs: Vec<(u16, u16)>,
+    /// Messages per flow.
+    pub messages_per_pair: usize,
+    /// Payload bytes per message.
+    pub payload_bytes: usize,
+    /// Bundle fragment size in bytes.
+    pub frag_bytes: u8,
+    /// Priority class of the offered messages.
+    pub priority: Priority,
+    /// Bundle lifetime in seconds.
+    pub ttl_s: u16,
+}
+
+impl Default for RelayTraffic {
+    fn default() -> Self {
+        Self {
+            pairs: Vec::new(),
+            messages_per_pair: 1,
+            payload_bytes: 64,
+            frag_bytes: 32,
+            priority: Priority::Chat,
+            ttl_s: 3600,
+        }
+    }
+}
+
+/// Configuration of one relay-enabled ocean run.
+#[derive(Debug, Clone)]
+pub struct RelayOceanConfig {
+    /// Number of nodes (addresses `0..nodes`, must fit `u16`).
+    pub nodes: usize,
+    /// Deployment geometry.
+    pub topology: RelayTopology,
+    /// Simulated duration (seconds).
+    pub sim_duration_s: f64,
+    /// MAC parameters; the gap range sets how often relays get airtime.
+    pub mac: MacConfig,
+    /// Modulation scheme for the PER table.
+    pub band: Band,
+    /// Master seed (topology, MAC RNG, PHY draws, retry jitter).
+    pub seed: u64,
+    /// Receptions buffered before a parallel resolution flush.
+    pub batch: usize,
+    /// Node churn model ([`ChurnConfig::none`] for an always-on fleet).
+    pub churn: ChurnConfig,
+    /// Exact per-node down intervals in slots, overriding `churn`
+    /// (acceptance tests script precise outages, e.g. a gateway that
+    /// surfaces on a duty cycle).
+    pub churn_intervals: Option<Vec<Vec<(u64, u64)>>>,
+    /// Relay engine knobs (set `direct` for the single-hop baseline).
+    pub relay: RelayConfig,
+    /// Offered application traffic.
+    pub traffic: RelayTraffic,
+}
+
+impl RelayOceanConfig {
+    /// A relay deployment skeleton: generated topology, relays getting
+    /// airtime every 10–30 s, no churn, no traffic (callers add flows).
+    pub fn deployment(
+        topology: RelayTopology,
+        nodes: usize,
+        sim_duration_s: f64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            nodes,
+            topology,
+            sim_duration_s,
+            mac: MacConfig {
+                max_packets: usize::MAX,
+                initial_delay_s: (0.0, 10.0),
+                inter_packet_gap_s: (10.0, 30.0),
+                ..MacConfig::default()
+            },
+            band: Band::Adaptive,
+            seed,
+            batch: 256,
+            churn: ChurnConfig::none(),
+            churn_intervals: None,
+            relay: RelayConfig::default(),
+            traffic: RelayTraffic::default(),
+        }
+    }
+}
+
+/// Aggregate result of a relay-enabled ocean run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelayOceanResult {
+    /// Nodes simulated.
+    pub nodes: usize,
+    /// Simulated time covered (seconds).
+    pub duration_s: f64,
+    /// MAC transmissions (frames put on the water, beacons included).
+    pub transmissions: u64,
+    /// Reception windows resolved.
+    pub receptions: u64,
+    /// Frames that survived the PHY and reached their target relay.
+    pub frames_delivered: u64,
+    /// Receptions lost to a failed or sleeping destination.
+    pub churn_losses: u64,
+    /// Fraction of the run the average node spent unavailable.
+    pub downtime_frac: f64,
+    /// Application messages offered at `t = 0`.
+    pub msgs_offered: u64,
+    /// Application messages reassembled complete at their destination.
+    pub msgs_delivered: u64,
+    /// `msgs_delivered / msgs_offered` (1.0 when nothing was offered).
+    pub delivery_ratio: f64,
+    /// Delivered messages whose reassembled payload differed from the
+    /// sourced payload. Always 0 — pinned by the acceptance suite.
+    pub payload_mismatches: u64,
+    /// Mean message latency (seconds from sourcing to reassembly).
+    pub latency_mean_s: f64,
+    /// Median message latency (seconds).
+    pub latency_p50_s: f64,
+    /// 90th-percentile message latency (seconds).
+    pub latency_p90_s: f64,
+    /// Protocol counters summed over all relays.
+    pub relay: RelayStats,
+    /// Heap events processed by the core.
+    pub events: u64,
+    /// Peak event-heap length.
+    pub peak_heap: usize,
+}
+
+/// Scenario hooks bridging the event core to the relay fleet.
+struct RelayHooks<'a> {
+    medium: &'a GeoMedium,
+    phy: &'a PhyResolver,
+    pool: &'a Pool,
+    churn: &'a ChurnSchedule,
+    slot_s: f64,
+    packet_duration_s: f64,
+    batch: usize,
+    relays: Vec<RelayNode>,
+    /// Physically audible neighbors per node, as relay addresses.
+    candidates: Vec<Vec<u16>>,
+    /// The frame decided at each transmission, keyed by
+    /// `(tx, start time bits)` — the resolve event's identity.
+    in_flight: HashMap<(u32, u64), Frame>,
+    /// Decision stashed between `on_transmit` and the `dest` call that
+    /// immediately follows it for the same node.
+    decision: Option<(usize, f64, Option<(u16, Frame)>)>,
+    pending: Vec<Reception>,
+    expected: HashMap<(u16, u16), Vec<u8>>,
+    /// Exact per-message latencies: DTN deliveries run hours, far past
+    /// the MAC latency histogram's 1000 s top bucket.
+    latencies_s: Vec<f64>,
+    transmissions: u64,
+    receptions: u64,
+    frames_delivered: u64,
+    churn_losses: u64,
+    msgs_delivered: u64,
+    payload_mismatches: u64,
+}
+
+impl RelayHooks<'_> {
+    /// Resolves buffered receptions in parallel and applies them to the
+    /// relays in item order — called before every transmission decision
+    /// and at the batch threshold, so flush points (and therefore every
+    /// relay's input sequence) are identical for every pool size.
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let phy = self.phy;
+        let outcomes = self.pool.par_map_slice(&pending, |rx| phy.resolve(rx));
+        for (rx, out) in pending.iter().zip(outcomes) {
+            self.receptions += 1;
+            let frame = self.in_flight.remove(&(rx.tx, rx.start_s.to_bits()));
+            if !out.delivered {
+                continue;
+            }
+            self.frames_delivered += 1;
+            let frame = frame.expect("delivered reception has a frame in flight");
+            // Per-hop wire round-trip: what the relay hears is what the
+            // bits say, not what the sender's struct said.
+            let frame = Frame::try_from_bits(&frame.to_bits()).expect("wire roundtrip");
+            let now_s = rx.arrival_s + self.packet_duration_s;
+            for d in self.relays[out.dest as usize].on_frame(rx.tx as u16, frame, now_s) {
+                match self.expected.get(&(d.src, d.seq)) {
+                    Some(want) if *want == d.payload => {
+                        self.msgs_delivered += 1;
+                        self.latencies_s.push(now_s);
+                    }
+                    _ => self.payload_mismatches += 1,
+                }
+            }
+        }
+    }
+}
+
+impl SimHooks for RelayHooks<'_> {
+    fn dest(&mut self, node: usize) -> Option<u32> {
+        let (n, t_s, decision) = self.decision.take().expect("dest follows on_transmit");
+        debug_assert_eq!(n, node);
+        let (target, frame) = decision?;
+        self.in_flight.insert((node as u32, t_s.to_bits()), frame);
+        Some(target as u32)
+    }
+    fn prop_delay_s(&self, tx: usize, rx: usize) -> f64 {
+        self.medium.prop_delay_s(tx, rx)
+    }
+    fn max_prop_delay_s(&self) -> f64 {
+        self.medium.max_prop_delay_s()
+    }
+    fn on_transmit(&mut self, node: usize, t_s: f64, _access_delay_s: f64) {
+        // Everything that physically arrived before this grant is heard
+        // before the relay decides what to say.
+        self.flush();
+        self.transmissions += 1;
+        let decision = self.relays[node].next_frame(t_s, &self.candidates[node]);
+        self.decision = Some((node, t_s, decision));
+    }
+    fn on_reception(&mut self, rx: Reception) {
+        let a = (rx.arrival_s / self.slot_s).floor().max(0.0) as u64;
+        let b = ((rx.arrival_s + self.packet_duration_s) / self.slot_s).ceil() as u64;
+        if self.churn.down_during(rx.dest as usize, a, b) {
+            self.receptions += 1;
+            self.churn_losses += 1;
+            self.in_flight.remove(&(rx.tx, rx.start_s.to_bits()));
+            return;
+        }
+        self.pending.push(rx);
+        if self.pending.len() >= self.batch {
+            self.flush();
+        }
+    }
+    fn wake_at(&self, node: usize, slot: u64) -> Option<u64> {
+        self.churn.wake_at(node, slot)
+    }
+}
+
+/// Mean of the samples, 0 when empty.
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Exact quantile by linear interpolation on sorted samples, 0 when empty.
+fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - rank.floor())
+}
+
+/// Deterministic per-node seed derivation (splitmix64 finalizer).
+fn node_seed(seed: u64, node: usize) -> u64 {
+    let mut z = seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic message payload: pseudo-random bytes keyed by flow.
+fn message_payload(seed: u64, src: u16, dst: u16, msg: usize, len: usize) -> Vec<u8> {
+    let mut s = node_seed(seed ^ ((src as u64) << 32) ^ ((dst as u64) << 16), msg);
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 56) as u8
+        })
+        .collect()
+}
+
+/// Runs one relay-enabled ocean deployment on the given pool.
+/// Deterministic in `cfg.seed`; bit-identical for every pool size
+/// (`net/tests/relay_determinism.rs`).
+pub fn run_relay_ocean(cfg: &RelayOceanConfig, pool: &Pool) -> RelayOceanResult {
+    assert!(cfg.nodes >= 1 && cfg.nodes <= u16::MAX as usize);
+    let rg = RangeGain::lake();
+    let positions = match &cfg.topology {
+        RelayTopology::Kind(kind) => {
+            OceanTopology::generate(*kind, cfg.nodes, cfg.seed, &rg).positions
+        }
+        RelayTopology::Explicit(p) => {
+            assert_eq!(p.len(), cfg.nodes, "explicit positions must match nodes");
+            p.clone()
+        }
+    };
+    let medium = GeoMedium::new(positions, rg);
+    let phy = PhyResolver::new(cfg.band, rg, cfg.mac.packet_duration_s, cfg.seed);
+    let max_slots = (cfg.sim_duration_s / cfg.mac.slot_s).ceil() as u64;
+    let churn = match &cfg.churn_intervals {
+        Some(down) => ChurnSchedule::from_intervals(down.clone(), max_slots),
+        // Same salt as the plain ocean: outage timing never aliases the
+        // MAC/PHY randomness.
+        None => ChurnSchedule::generate(
+            &cfg.churn,
+            cfg.nodes,
+            max_slots,
+            cfg.mac.slot_s,
+            cfg.seed ^ 0xC08A_12D5,
+        ),
+    };
+    let mut relays: Vec<RelayNode> = (0..cfg.nodes)
+        .map(|i| RelayNode::new(i as u16, cfg.relay.clone(), node_seed(cfg.seed, i)))
+        .collect();
+    // Offer all traffic at t = 0; the DTN queues do the waiting.
+    let mut expected = HashMap::new();
+    let mut msgs_offered = 0u64;
+    let mut next_seq = vec![0u16; cfg.nodes];
+    let copies = if cfg.relay.direct {
+        1
+    } else {
+        cfg.relay.spray_copies
+    };
+    for &(src, dst) in &cfg.traffic.pairs {
+        for m in 0..cfg.traffic.messages_per_pair {
+            let seq = next_seq[src as usize];
+            next_seq[src as usize] += 1;
+            let payload = message_payload(cfg.seed, src, dst, m, cfg.traffic.payload_bytes);
+            let bundles = fragment_message(
+                src,
+                dst,
+                seq,
+                cfg.traffic.priority,
+                cfg.relay.custody,
+                cfg.traffic.ttl_s,
+                copies,
+                &payload,
+                cfg.traffic.frag_bytes,
+            )
+            .expect("valid traffic geometry");
+            relays[src as usize].source(bundles, 0.0);
+            expected.insert((src, seq), payload);
+            msgs_offered += 1;
+        }
+    }
+    // A relay's candidate list is its *link-viable* neighborhood: audible
+    // nodes whose clean-channel PER is below 1.0 at this range. The
+    // hearing radius (~123 m) reaches well past the recorded PER curves'
+    // 60 m wall, and beaconing at physically dead links would just burn
+    // the round-robin's revisit time on frames that can never arrive.
+    let table = PerTable::recorded();
+    let candidates = (0..cfg.nodes)
+        .map(|i| {
+            medium
+                .neighbors_of(i)
+                .iter()
+                .filter(|&&j| table.per(cfg.band, medium.range_m(i, j as usize)) < 1.0)
+                .map(|&j| j as u16)
+                .collect()
+        })
+        .collect();
+    let mut hooks = RelayHooks {
+        medium: &medium,
+        phy: &phy,
+        pool,
+        churn: &churn,
+        slot_s: cfg.mac.slot_s,
+        packet_duration_s: cfg.mac.packet_duration_s,
+        batch: cfg.batch.max(1),
+        relays,
+        candidates,
+        in_flight: HashMap::new(),
+        decision: None,
+        pending: Vec::new(),
+        expected,
+        latencies_s: Vec::new(),
+        transmissions: 0,
+        receptions: 0,
+        frames_delivered: 0,
+        churn_losses: 0,
+        msgs_delivered: 0,
+        payload_mismatches: 0,
+    };
+    let core = EventCore::new(&cfg.mac, &medium, &mut hooks, cfg.seed).run(max_slots);
+    hooks.flush();
+    let mut relay = RelayStats::default();
+    for r in &hooks.relays {
+        let s = r.stats();
+        relay.sourced += s.sourced;
+        relay.beacons += s.beacons;
+        relay.forwards += s.forwards;
+        relay.custody_accepted += s.custody_accepted;
+        relay.custody_transfers += s.custody_transfers;
+        relay.custody_retries += s.custody_retries;
+        relay.dup_suppressed += s.dup_suppressed;
+        relay.dup_acks += s.dup_acks;
+        relay.cured_acks += s.cured_acks;
+        relay.stale_acks += s.stale_acks;
+        relay.evictions_ttl += s.evictions_ttl;
+        relay.evictions_cap += s.evictions_cap;
+        relay.queue_rejects += s.queue_rejects;
+        relay.hop_drops += s.hop_drops;
+        relay.delivered_msgs += s.delivered_msgs;
+    }
+    RelayOceanResult {
+        nodes: cfg.nodes,
+        duration_s: core.duration_s,
+        transmissions: hooks.transmissions,
+        receptions: hooks.receptions,
+        frames_delivered: hooks.frames_delivered,
+        churn_losses: hooks.churn_losses,
+        downtime_frac: churn.mean_downtime_frac(),
+        msgs_offered,
+        msgs_delivered: hooks.msgs_delivered,
+        delivery_ratio: if msgs_offered == 0 {
+            1.0
+        } else {
+            hooks.msgs_delivered as f64 / msgs_offered as f64
+        },
+        payload_mismatches: hooks.payload_mismatches,
+        latency_mean_s: mean(&hooks.latencies_s),
+        latency_p50_s: quantile(&hooks.latencies_s, 0.5),
+        latency_p90_s: quantile(&hooks.latencies_s, 0.9),
+        relay,
+        events: core.events,
+        peak_heap: core.peak_heap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A line of nodes spaced `gap_m` apart at diver depth.
+    pub(crate) fn line(n: usize, gap_m: f64) -> Vec<Pos> {
+        (0..n)
+            .map(|i| Pos::new(i as f64 * gap_m, 0.0, 2.0))
+            .collect()
+    }
+
+    #[test]
+    fn adjacent_pair_delivers_a_message() {
+        let mut cfg =
+            RelayOceanConfig::deployment(RelayTopology::Explicit(line(2, 30.0)), 2, 1800.0, 7);
+        cfg.traffic.pairs = vec![(0, 1)];
+        cfg.traffic.payload_bytes = 48;
+        let r = run_relay_ocean(&cfg, &Pool::new(1));
+        assert_eq!(r.msgs_offered, 1);
+        assert_eq!(r.msgs_delivered, 1, "{r:?}");
+        assert_eq!(r.payload_mismatches, 0);
+        assert!(r.latency_mean_s > 0.0);
+        assert!(
+            r.relay.custody_transfers >= 2,
+            "both fragments acked: {r:?}"
+        );
+    }
+
+    #[test]
+    fn reruns_are_exactly_reproducible() {
+        let mut cfg =
+            RelayOceanConfig::deployment(RelayTopology::Explicit(line(4, 30.0)), 4, 1200.0, 3);
+        cfg.traffic.pairs = vec![(0, 3)];
+        let a = run_relay_ocean(&cfg, &Pool::new(1));
+        let b = run_relay_ocean(&cfg, &Pool::new(1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,121 @@
+//! Fuzz the network-tier wire parsers on arbitrary bitstreams, the
+//! `packet_fuzz.rs` discipline one layer up: no input may panic, every
+//! *accepted* parse must re-serialize to exactly the bits it consumed,
+//! and any single-bit corruption of a valid frame must be rejected —
+//! body CRCs catch in-frame flips, and the length grids of the three
+//! frame types catch tag flips.
+
+use aqua_net::bundle::fragment_message;
+use aqua_net::{Beacon, CustodyAck, Frame, Priority};
+use proptest::prelude::*;
+
+/// Builds one valid frame of the selected kind from raw sampled fields,
+/// going through the only public constructors.
+#[allow(clippy::too_many_arguments)]
+fn build_frame(
+    kind: u8,
+    a: u16,
+    b: u16,
+    c: u16,
+    d: u16,
+    pri: u8,
+    flag: bool,
+    ttl: u16,
+    copies: u8,
+    payload: &[u8],
+    frag_bytes: u8,
+) -> Frame {
+    match kind {
+        0 => Frame::Beacon(Beacon {
+            node: a,
+            seq: b,
+            backlog: c as u8,
+        }),
+        1 => {
+            let pri = Priority::from_wire(pri).expect("2-bit priority");
+            let mut frags = fragment_message(a, b, c, pri, flag, ttl, copies, payload, frag_bytes)
+                .expect("valid geometry");
+            Frame::Bundle(frags.remove(0))
+        }
+        _ => Frame::CustodyAck(CustodyAck {
+            custodian: a,
+            src: b,
+            seq: c,
+            frag_index: d,
+            delivered: flag,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary 0/1 streams never panic any parser, and anything
+    /// accepted re-serializes bit-exact — corrupted fields are rejected,
+    /// never coerced.
+    #[test]
+    fn arbitrary_bitstreams_never_panic_or_misparse(
+        bits in proptest::collection::vec(0u8..2, 0..280),
+    ) {
+        if let Ok(frame) = Frame::try_from_bits(&bits) {
+            prop_assert_eq!(frame.to_bits(), bits);
+        }
+    }
+
+    /// Every valid frame roundtrips, any single-bit flip is rejected
+    /// (CRC-16 inside the body, length grid across tags), and every
+    /// strict truncation is rejected.
+    #[test]
+    fn valid_frames_roundtrip_and_survive_no_corruption(
+        kind in 0u8..3,
+        a in any::<u16>(),
+        b in any::<u16>(),
+        c in any::<u16>(),
+        d in any::<u16>(),
+        pri in 0u8..3,
+        flag in any::<bool>(),
+        ttl in 1u16..=u16::MAX,
+        copies in 1u8..=255,
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        frag_bytes in 1u8..=32,
+        flip in 0usize..4096,
+        cut in 0usize..4096,
+    ) {
+        let frame = build_frame(
+            kind, a, b, c, d, pri, flag, ttl, copies, &payload, frag_bytes,
+        );
+        let bits = frame.to_bits();
+        prop_assert_eq!(Frame::try_from_bits(&bits).expect("own bits"), frame);
+
+        let mut bad = bits.clone();
+        let at = flip % bits.len();
+        bad[at] ^= 1;
+        prop_assert!(
+            Frame::try_from_bits(&bad).is_err(),
+            "single-bit corruption at {} accepted", at
+        );
+
+        let keep = cut % bits.len(); // strict prefix
+        prop_assert!(
+            Frame::try_from_bits(&bits[..keep]).is_err(),
+            "truncation to {} bits accepted", keep
+        );
+    }
+
+    /// Beacon-specific: a corrupted backlog/seq never aliases into a
+    /// different accepted beacon (the CRC covers every field).
+    #[test]
+    fn beacon_field_corruption_rejected(
+        node in any::<u16>(),
+        seq in any::<u16>(),
+        backlog in any::<u8>(),
+        flip in 0usize..1024,
+    ) {
+        let b = Beacon { node, seq, backlog };
+        let bits = b.to_bits();
+        prop_assert_eq!(Beacon::try_from_bits(&bits).expect("own bits"), b);
+        let mut bad = bits.clone();
+        bad[flip % bits.len()] ^= 1;
+        prop_assert!(Beacon::try_from_bits(&bad).is_err());
+    }
+}

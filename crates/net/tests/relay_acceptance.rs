@@ -1,0 +1,145 @@
+//! Release-gated acceptance scenarios for the DTN relay stack (`ci.sh`
+//! runs these with `--release`): a multi-kilobyte payload crossing a
+//! 3-hop chain bit-exact while the middle relay churns mid-custody, and
+//! partition healing through a duty-cycled surfacing gateway where
+//! direct single-hop delivery is physically impossible.
+//!
+//! Geometry leans on the recorded PER curves: links are clean-ish at
+//! 20–30 m, ~0.4 PER at 40 m, and exactly 1.0 from 60 m out — so 30 m
+//! spacing forces true multi-hop (the 60 m two-hop shortcut is dead) and
+//! an 80 m gap is an honest partition.
+
+use aqua_channel::geometry::Pos;
+use aqua_net::sim::{run_relay_ocean, RelayOceanConfig, RelayTopology};
+use aqua_par::Pool;
+
+/// A line of nodes spaced `gap_m` apart at diver depth.
+fn line(n: usize, gap_m: f64) -> Vec<Pos> {
+    (0..n)
+        .map(|i| Pos::new(i as f64 * gap_m, 0.0, 2.0))
+        .collect()
+}
+
+/// Seconds → event-core slots at the configured slot width.
+fn slots(cfg: &RelayOceanConfig, t_s: f64) -> u64 {
+    (t_s / cfg.mac.slot_s).round() as u64
+}
+
+/// Relay knobs tuned for a small always-chattering testbed: quick
+/// retries, quick focus, room for a fully fragmented message.
+fn testbed(mut cfg: RelayOceanConfig) -> RelayOceanConfig {
+    // Everyone in these testbeds shares one collision domain; keep the
+    // ALOHA load low enough that collisions are a nuisance, not a wall.
+    cfg.mac.initial_delay_s = (0.0, 4.0);
+    cfg.mac.inter_packet_gap_s = (8.0, 24.0);
+    cfg.relay.queue_cap = 128;
+    cfg.relay.min_rto_s = 20.0;
+    cfg.relay.max_rto_s = 80.0;
+    cfg.relay.focus_after_s = 60.0;
+    // Focus walks and custody re-acceptance spend hops on every revisit;
+    // the hop ceiling guards against routing loops, not path length.
+    cfg.relay.max_hops = 128;
+    cfg
+}
+
+/// A 2 KB message (64 fragments of 32 B) crosses the 3-hop chain
+/// `0 — 1 — 2 — 3` (30 m pitch, destination 90 m out) and reassembles
+/// bit-exact, while the middle relay drops off the network for five
+/// minutes in the thick of the transfer. Custody retries carry every
+/// fragment over the outage — the payload-mismatch counter pins
+/// bit-exactness end to end.
+#[test]
+fn two_kb_crosses_three_hops_through_mid_transfer_churn() {
+    let mut cfg = testbed(RelayOceanConfig::deployment(
+        RelayTopology::Explicit(line(4, 30.0)),
+        4,
+        10_800.0,
+        42,
+    ));
+    cfg.traffic.pairs = vec![(0, 3)];
+    cfg.traffic.payload_bytes = 2048;
+    cfg.traffic.frag_bytes = 32;
+    cfg.traffic.ttl_s = 10_800;
+    // Node 1 goes dark from t=600 s to t=900 s — mid-transfer, with
+    // custody outstanding on both sides of it.
+    let dark = (slots(&cfg, 600.0), slots(&cfg, 900.0));
+    cfg.churn_intervals = Some(vec![vec![], vec![dark], vec![], vec![]]);
+
+    let r = run_relay_ocean(&cfg, &Pool::new(1));
+    assert_eq!(r.msgs_offered, 1);
+    assert_eq!(r.msgs_delivered, 1, "2 KB message must arrive: {r:?}");
+    assert_eq!(r.payload_mismatches, 0, "delivery must be bit-exact");
+    assert!(
+        r.churn_losses > 0,
+        "the outage must actually eat frames: {r:?}"
+    );
+    assert!(
+        r.relay.custody_retries > 0,
+        "custody timers must carry the transfer over losses: {r:?}"
+    );
+    assert!(
+        r.relay.custody_transfers >= 3 * 64,
+        "every fragment crosses three custody hops: {r:?}"
+    );
+}
+
+/// Two clusters 80 m apart (every cross-link at PER 1.0) with a gateway
+/// node midway that surfaces for two minutes out of every ten. Direct
+/// single-hop transmission delivers exactly nothing; the DTN stack
+/// custodies the message across the gateway's brief appearances.
+#[test]
+fn partitioned_swarm_heals_through_a_surfacing_gateway() {
+    // Cluster A: 0 (x=0), 1 (x=20). Cluster B: 2 (x=80), 3 (x=100).
+    // Gateway: 4 (x=40) — 20–40 m from cluster A, 40 m from node 2.
+    let positions = vec![
+        Pos::new(0.0, 0.0, 2.0),
+        Pos::new(20.0, 0.0, 2.0),
+        Pos::new(80.0, 0.0, 2.0),
+        Pos::new(100.0, 0.0, 2.0),
+        Pos::new(40.0, 0.0, 2.0),
+    ];
+    let base = {
+        let mut cfg = testbed(RelayOceanConfig::deployment(
+            RelayTopology::Explicit(positions),
+            5,
+            14_400.0,
+            42,
+        ));
+        cfg.traffic.pairs = vec![(0, 3)];
+        cfg.traffic.payload_bytes = 256;
+        cfg.traffic.frag_bytes = 32;
+        cfg.traffic.ttl_s = 14_400;
+        // The gateway is submerged (down) except the first 120 s of
+        // every 600 s cycle.
+        let mut down = Vec::new();
+        let mut t = 0.0;
+        while t < cfg.sim_duration_s {
+            down.push((slots(&cfg, t + 120.0), slots(&cfg, t + 600.0)));
+            t += 600.0;
+        }
+        cfg.churn_intervals = Some(vec![vec![], vec![], vec![], vec![], down]);
+        cfg
+    };
+
+    let mut direct = base.clone();
+    direct.relay.direct = true;
+    let d = run_relay_ocean(&direct, &Pool::new(1));
+    assert_eq!(
+        d.msgs_delivered, 0,
+        "100 m is past the PER wall: direct must deliver nothing: {d:?}"
+    );
+
+    let mut dtn = base;
+    dtn.relay.direct = false;
+    let r = run_relay_ocean(&dtn, &Pool::new(1));
+    assert_eq!(r.msgs_offered, 1);
+    assert_eq!(
+        r.msgs_delivered, 1,
+        "the gateway's surfacing windows must heal the partition: {r:?}"
+    );
+    assert_eq!(r.payload_mismatches, 0);
+    assert!(
+        r.churn_losses > 0,
+        "frames must die against the submerged gateway: {r:?}"
+    );
+}

@@ -1,0 +1,84 @@
+//! The relay-enabled simulator's parallelism contract: a run is
+//! bit-identical across worker pool sizes. Receptions are flushed at
+//! pool-size-independent points (before every transmission decision and
+//! at the batch threshold) and `par_map_slice` preserves item order, so
+//! the only thing a bigger pool may change is wall-clock time.
+//!
+//! Every field of [`RelayOceanResult`] is compared — message counts,
+//! protocol counters, and exact float latencies (PartialEq on f64; no
+//! NaNs can arise from finite simulated times).
+
+use aqua_mac::ocean::{ChurnConfig, TopologyKind};
+use aqua_net::sim::{run_relay_ocean, RelayOceanConfig, RelayOceanResult, RelayTopology};
+use aqua_par::Pool;
+
+/// A churned 49-node grid with multi-hop flows and a batch size small
+/// enough to force many mid-run parallel flushes.
+fn churned_grid() -> RelayOceanConfig {
+    let mut cfg =
+        RelayOceanConfig::deployment(RelayTopology::Kind(TopologyKind::Grid), 49, 1800.0, 5);
+    cfg.batch = 8;
+    cfg.churn = ChurnConfig {
+        mtbf_s: 200.0,
+        mttr_s: 90.0,
+        duty_cycle: 0.8,
+        duty_period_s: 45.0,
+    };
+    cfg.relay.min_rto_s = 30.0;
+    cfg.relay.max_rto_s = 120.0;
+    cfg.relay.focus_after_s = 120.0;
+    // Corner-to-corner and cross-grid flows: guaranteed multi-hop.
+    cfg.traffic.pairs = vec![(0, 48), (3, 45), (21, 27), (7, 42)];
+    cfg.traffic.payload_bytes = 96;
+    cfg
+}
+
+fn assert_identical(a: &RelayOceanResult, b: &RelayOceanResult, what: &str) {
+    assert_eq!(a, b, "{what}: relay ocean run must be bit-identical");
+    // PartialEq already covers these, but pin the float fields through
+    // to_bits so -0.0 vs 0.0 or rounding drift can never sneak through.
+    assert_eq!(
+        a.downtime_frac.to_bits(),
+        b.downtime_frac.to_bits(),
+        "{what}"
+    );
+    assert_eq!(
+        a.latency_mean_s.to_bits(),
+        b.latency_mean_s.to_bits(),
+        "{what}"
+    );
+    assert_eq!(
+        a.latency_p50_s.to_bits(),
+        b.latency_p50_s.to_bits(),
+        "{what}"
+    );
+    assert_eq!(
+        a.latency_p90_s.to_bits(),
+        b.latency_p90_s.to_bits(),
+        "{what}"
+    );
+}
+
+#[test]
+fn relay_run_is_pool_size_invariant() {
+    let cfg = churned_grid();
+    let serial = run_relay_ocean(&cfg, &Pool::new(1));
+    assert!(
+        serial.relay.custody_transfers > 0,
+        "the scenario must exercise the relay stack: {serial:?}"
+    );
+    assert!(serial.churn_losses > 0, "churn must bite: {serial:?}");
+    for threads in [2, 4] {
+        let par = run_relay_ocean(&cfg, &Pool::new(threads));
+        assert_identical(&par, &serial, &format!("{threads} workers"));
+    }
+}
+
+#[test]
+fn direct_mode_is_pool_size_invariant_too() {
+    let mut cfg = churned_grid();
+    cfg.relay.direct = true;
+    let serial = run_relay_ocean(&cfg, &Pool::new(1));
+    let par = run_relay_ocean(&cfg, &Pool::new(4));
+    assert_identical(&par, &serial, "direct baseline");
+}

@@ -1,0 +1,55 @@
+//! Typed wire-parse errors for the packet and transfer formats.
+//!
+//! The `from_bits` parsers historically returned bare `Option`s — enough
+//! for a PHY that treats every bad frame as an erasure, but opaque to
+//! callers that want to distinguish "too short to even try" from "CRC
+//! said corrupt" from "well-formed bits encoding an impossible value".
+//! Each format now has a `try_from_bits` returning one of these (the
+//! [`crate::transfer::PlanError`] pattern), and the `Option` forms are
+//! thin `.ok()` wrappers kept for the erasure-path callers.
+
+use std::fmt;
+
+/// Why a wire parse rejected its bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Fewer bits than the smallest possible frame.
+    Truncated {
+        /// Minimum bits a frame of this type can occupy.
+        need: usize,
+        /// Bits actually offered.
+        got: usize,
+    },
+    /// Bit count inconsistent with the frame's own framing.
+    BadLength {
+        /// Bits the frame's framing implies.
+        expect: usize,
+        /// Bits actually offered.
+        got: usize,
+    },
+    /// The frame's CRC did not match its contents.
+    CrcMismatch,
+    /// The sync pattern at the head of the frame did not match.
+    BadSync,
+    /// The bits are well-formed but encode an impossible value for the
+    /// named field.
+    InvalidField(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { need, got } => {
+                write!(f, "truncated frame: need at least {need} bits, got {got}")
+            }
+            Self::BadLength { expect, got } => {
+                write!(f, "bad frame length: expected {expect} bits, got {got}")
+            }
+            Self::CrcMismatch => write!(f, "CRC mismatch"),
+            Self::BadSync => write!(f, "sync pattern mismatch"),
+            Self::InvalidField(name) => write!(f, "invalid field: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

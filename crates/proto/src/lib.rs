@@ -10,11 +10,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod latency;
 pub mod messages;
 pub mod packet;
 pub mod transfer;
 
+pub use error::ParseError;
 pub use messages::{by_category, by_id, codebook, common_messages, Category, Message};
 pub use packet::{MessagePacket, SosBeacon};
 pub use transfer::{Fragment, Reassembler, TransferParams, TransferPlan};

@@ -5,6 +5,7 @@
 //! 6-bit user ID over the FSK modem, optionally followed by an 8-bit hand
 //! signal ("transmitted in around a second", §3).
 
+use crate::error::ParseError;
 use crate::messages::MESSAGE_COUNT;
 use aqua_coding::bits::{bits_to_value, value_to_bits};
 
@@ -47,31 +48,39 @@ impl MessagePacket {
         value_to_bits(value, 16)
     }
 
-    /// Parses 16 payload bits. Returns `None` if either slot is not a valid
-    /// message ID (decode error surfaced to the app). The second slot must
-    /// be a valid ID or exactly [`NO_MESSAGE`] — the in-between values
-    /// (`MESSAGE_COUNT..NO_MESSAGE`) are unreachable from
-    /// [`MessagePacket::to_bits`] and
-    /// can only mean corruption, so they reject the packet rather than
-    /// silently coercing to a single-message parse.
-    pub fn from_bits(bits: &[u8]) -> Option<Self> {
+    /// Parses 16 payload bits with a typed rejection reason. The second
+    /// slot must be a valid ID or exactly [`NO_MESSAGE`] — the in-between
+    /// values (`MESSAGE_COUNT..NO_MESSAGE`) are unreachable from
+    /// [`MessagePacket::to_bits`] and can only mean corruption, so they
+    /// reject the packet rather than silently coercing to a
+    /// single-message parse.
+    pub fn try_from_bits(bits: &[u8]) -> Result<Self, ParseError> {
         if bits.len() != 16 {
-            return None;
+            return Err(ParseError::BadLength {
+                expect: 16,
+                got: bits.len(),
+            });
         }
         let value = bits_to_value(bits);
         let first = (value >> 8) as u8;
         let second = (value & 0xFF) as u8;
         if first as usize >= MESSAGE_COUNT {
-            return None;
+            return Err(ParseError::InvalidField("first message ID"));
         }
         let second = if second == NO_MESSAGE {
             None
         } else if (second as usize) < MESSAGE_COUNT {
             Some(second)
         } else {
-            return None;
+            return Err(ParseError::InvalidField("second message ID"));
         };
-        Some(Self { first, second })
+        Ok(Self { first, second })
+    }
+
+    /// Parses 16 payload bits; `None` on any decode error (the erasure
+    /// path — see [`MessagePacket::try_from_bits`] for the reason).
+    pub fn from_bits(bits: &[u8]) -> Option<Self> {
+        Self::try_from_bits(bits).ok()
     }
 }
 
@@ -118,29 +127,42 @@ impl SosBeacon {
         bits
     }
 
-    /// Parses a beacon from bits starting at the sync pattern. Returns the
-    /// beacon and the number of bits consumed.
-    pub fn from_bits(bits: &[u8]) -> Option<(Self, usize)> {
-        if bits.len() < SOS_SYNC.len() + 7 {
-            return None;
+    /// Parses a beacon from bits starting at the sync pattern, with a
+    /// typed rejection reason. Returns the beacon and the number of bits
+    /// consumed.
+    pub fn try_from_bits(bits: &[u8]) -> Result<(Self, usize), ParseError> {
+        let min = SOS_SYNC.len() + 7;
+        if bits.len() < min {
+            return Err(ParseError::Truncated {
+                need: min,
+                got: bits.len(),
+            });
         }
         if bits[..8] != SOS_SYNC {
-            return None;
+            return Err(ParseError::BadSync);
         }
         let has_signal = bits[8] == 1;
         let user_id = bits_to_value(&bits[9..15]) as u8;
         if has_signal {
             if bits.len() < 23 {
-                return None;
+                return Err(ParseError::Truncated {
+                    need: 23,
+                    got: bits.len(),
+                });
             }
             let signal = bits_to_value(&bits[15..23]) as u8;
             if signal as usize >= MESSAGE_COUNT {
-                return None;
+                return Err(ParseError::InvalidField("hand signal"));
             }
-            Some((Self::with_signal(user_id, signal), 23))
+            Ok((Self::with_signal(user_id, signal), 23))
         } else {
-            Some((Self::id_only(user_id), 15))
+            Ok((Self::id_only(user_id), 15))
         }
+    }
+
+    /// Parses a beacon; `None` on any decode error (the erasure path).
+    pub fn from_bits(bits: &[u8]) -> Option<(Self, usize)> {
+        Self::try_from_bits(bits).ok()
     }
 
     /// Transmission time in seconds at a given beacon bit rate.

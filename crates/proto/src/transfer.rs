@@ -27,6 +27,7 @@
 //! same code by prepending virtual all-zero fragments (a shortened RS code)
 //! that are never transmitted.
 
+use crate::error::ParseError;
 use aqua_coding::bits::{bits_to_bytes, bits_to_value, bytes_to_bits, value_to_bits};
 use aqua_coding::crc::crc16;
 use aqua_coding::rs::ReedSolomon;
@@ -86,23 +87,37 @@ impl Fragment {
         bits
     }
 
-    /// Parses wire bits. Returns `None` on a length mismatch or CRC
-    /// failure — the caller treats that packet as an erasure.
-    pub fn from_bits(bits: &[u8]) -> Option<Self> {
+    /// Parses wire bits with a typed rejection reason.
+    pub fn try_from_bits(bits: &[u8]) -> Result<Self, ParseError> {
         // minimum frame: seq(16) + one payload byte + crc(16) = 40 bits
-        if bits.len() < 40 || bits.len() % 8 != 0 {
-            return None;
+        if bits.len() < 40 {
+            return Err(ParseError::Truncated {
+                need: 40,
+                got: bits.len(),
+            });
+        }
+        if bits.len() % 8 != 0 {
+            return Err(ParseError::BadLength {
+                expect: bits.len() / 8 * 8,
+                got: bits.len(),
+            });
         }
         let framed = bits_to_bytes(&bits[..bits.len() - 16]);
         let crc = bits_to_value(&bits[bits.len() - 16..]) as u16;
         if crc16(&framed) != crc {
-            return None;
+            return Err(ParseError::CrcMismatch);
         }
         let seq = u16::from_be_bytes([framed[0], framed[1]]);
-        Some(Self {
+        Ok(Self {
             seq,
             payload: framed[2..].to_vec(),
         })
+    }
+
+    /// Parses wire bits; `None` on any decode error — the caller treats
+    /// that packet as an erasure for the outer code.
+    pub fn from_bits(bits: &[u8]) -> Option<Self> {
+        Self::try_from_bits(bits).ok()
     }
 }
 

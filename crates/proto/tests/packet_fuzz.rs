@@ -69,3 +69,45 @@ proptest! {
         prop_assert_eq!(Fragment::from_bits(&bad), None);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The typed parsers agree exactly with their `Option` wrappers on
+    /// every input: `from_bits` is `try_from_bits(..).ok()`, nothing more.
+    #[test]
+    fn typed_and_option_parsers_agree(bits in proptest::collection::vec(0u8..2, 0..128)) {
+        prop_assert_eq!(
+            MessagePacket::from_bits(&bits),
+            MessagePacket::try_from_bits(&bits).ok()
+        );
+        prop_assert_eq!(
+            SosBeacon::from_bits(&bits),
+            SosBeacon::try_from_bits(&bits).ok()
+        );
+        prop_assert_eq!(
+            Fragment::from_bits(&bits),
+            Fragment::try_from_bits(&bits).ok()
+        );
+    }
+
+    /// Typed rejections carry honest reasons: a wrong-length message
+    /// packet reports the length, a broken sync pattern reports BadSync.
+    #[test]
+    fn typed_errors_name_the_failure(len in 0usize..40) {
+        use aqua_proto::ParseError;
+        if len != 16 {
+            prop_assert_eq!(
+                MessagePacket::try_from_bits(&vec![0; len]),
+                Err(ParseError::BadLength { expect: 16, got: len })
+            );
+        }
+        if len >= 15 {
+            // All-zero bits cannot start with the sync pattern.
+            prop_assert_eq!(
+                SosBeacon::try_from_bits(&vec![0; len]),
+                Err(ParseError::BadSync)
+            );
+        }
+    }
+}
