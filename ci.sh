@@ -139,6 +139,19 @@ cargo test -q -p aqua-net --release \
   --test frame_fuzz --test custody_props \
   --test relay_determinism --test relay_acceptance
 
+echo "==> crash recovery: chaos sweep + journal fuzz + recovery props"
+# PR 10 contracts, run in release where the 32-schedule chaos sweep and
+# the proptest case counts are cheap: every seeded crash schedule must
+# satisfy custody conservation, at-most-once delivery and
+# journal-bounded loss; arbitrary byte soup must never parse as journal
+# records and truncation at every offset must recover a clean prefix;
+# random custody op sequences must crash/recover to exactly the durable
+# state, deterministically and idempotently; Sleep-only churn must stay
+# bit-identical with the journal on; and the 3-hop mid-custody
+# power-cycle must deliver durable and provably lose volatile.
+cargo test -q -p aqua-net --release \
+  --test chaos --test journal_fuzz --test recovery_props
+
 echo "==> perf smoke: transfer_goodput (PR 7 bulk pipeline)"
 # One 480 B selective-repeat transfer (24 packet exchanges + block ACKs)
 # is ~142 ms on this container; the RS striping of 2 KB is ~0.25 ms.
@@ -206,6 +219,28 @@ if [ "$ELAPSED" -gt 60 ]; then
   exit 1
 fi
 echo "throughput-smoke ok: repro relay quick in ${ELAPSED}s (budget 60 s)"
+
+echo "==> perf smoke: journal_replay (PR 10 reboot recovery hot path)"
+# Parse + replay a ~1k-record custody journal: ~0.14 ms on this
+# container. Reboot storms replay thousands of logs per chaos run, so
+# gate the single replay at ~35x slack (5 ms) — a regression to
+# quadratic record handling would blow through it instantly.
+BENCH_OUT=$(cargo bench -p aqua-bench --bench journal_replay)
+echo "$BENCH_OUT"
+check_budget "journal_replay_1k_records" 5
+
+echo "==> throughput smoke: repro recovery quick end-to-end under 60 s"
+# The 36-node 3-simulated-hour crash sweep (6 audited runs, volatile +
+# durable at three intensities): ~1 s typical; 60 s budget is container
+# slack.
+START=$(date +%s)
+cargo run -q -p aqua-eval --release --bin repro -- recovery quick >/dev/null
+ELAPSED=$(($(date +%s) - START))
+if [ "$ELAPSED" -gt 60 ]; then
+  echo "throughput-smoke FAIL: repro recovery quick took ${ELAPSED}s (> 60 s)"
+  exit 1
+fi
+echo "throughput-smoke ok: repro recovery quick in ${ELAPSED}s (budget 60 s)"
 
 echo "==> throughput smoke: repro fig9 quick end-to-end under 60 s"
 START=$(date +%s)

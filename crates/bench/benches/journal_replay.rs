@@ -1,0 +1,76 @@
+//! Crash-recovery hot path: parse + replay a ~1 k-record custody
+//! journal into live relay state. This is the work a rebooting node does
+//! before it can resume forwarding, so `ci.sh` budgets it — reboot
+//! storms in the chaos sweeps replay thousands of these logs, and a
+//! regression here multiplies across every simulated power cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aqua_net::bundle::fragment_message;
+use aqua_net::journal::parse_records;
+use aqua_net::{recover, Bundle, BundleKey, Priority, Record};
+
+fn bundle(src: u16, seq: u16) -> Bundle {
+    fragment_message(src, 9, seq, Priority::Chat, true, 3600, 8, &[0x5A; 24], 24)
+        .expect("valid geometry")
+        .remove(0)
+}
+
+/// A realistic ~1024-record log: custody accepts interleaved with
+/// releases, copy halvings, cures, seen inserts, destination fragments
+/// and deliveries, in roughly the proportions the chaos runs produce.
+fn demo_log() -> Vec<u8> {
+    let mut records = Vec::new();
+    for i in 0..128u16 {
+        let b = bundle(i % 7, i);
+        let key = b.key();
+        records.push(Record::Accept {
+            came_from: 2,
+            copies: 8,
+            expires_s: 3600.0 + f64::from(i),
+            bundle: b.clone(),
+        });
+        records.push(Record::Copies { key, copies: 4 });
+        records.push(Record::Seen { key });
+        if i % 2 == 0 {
+            records.push(Record::Release { key });
+        }
+        if i % 3 == 0 {
+            records.push(Record::Cure {
+                key: BundleKey {
+                    src: i % 7,
+                    seq: i.wrapping_add(500),
+                    frag: 0,
+                },
+            });
+        }
+        if i % 4 == 0 {
+            records.push(Record::FragIn { bundle: b });
+            records.push(Record::Deliver {
+                src: i % 7,
+                seq: i.wrapping_add(900),
+            });
+        }
+    }
+    records.iter().flat_map(|r| r.encode()).collect()
+}
+
+fn journal_replay(c: &mut Criterion) {
+    let log = demo_log();
+    let n = parse_records(&log).len();
+    assert!(n >= 512, "log must be replay-storm sized, got {n} records");
+    c.bench_function("journal_replay_1k_records", |b| {
+        b.iter(|| {
+            let records = parse_records(black_box(&log));
+            black_box(recover(&records, 60.0).entries.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = journal_replay
+}
+criterion_main!(benches);

@@ -21,6 +21,7 @@ pub mod faults;
 pub mod link_experiments;
 pub mod network;
 pub mod ocean;
+pub mod recovery;
 pub mod relay;
 pub mod robustness;
 pub mod runner;
@@ -64,6 +65,7 @@ pub fn run_experiment(name: &str, size: RunSize) -> Option<String> {
         "transfer" => transfer::transfer(size),
         "faults" => faults::faults(size),
         "relay" => relay::relay(size),
+        "recovery" => recovery::recovery(size),
         _ => return None,
     })
 }
@@ -72,8 +74,9 @@ pub fn run_experiment(name: &str, size: RunSize) -> Option<String> {
 /// `detector` is this repo's added ablation, `ocean` the event-driven
 /// ocean-scale deployment study, `transfer` the bulk file-transfer
 /// goodput study, `faults` the fault-injection robustness study, and
-/// `relay` the DTN multi-hop delivery study over churned fleets).
-pub const ALL_EXPERIMENTS: [&str; 24] = [
+/// `relay` the DTN multi-hop delivery study over churned fleets, and
+/// `recovery` the crash-fault tolerance study of the custody journal).
+pub const ALL_EXPERIMENTS: [&str; 25] = [
     "fig3a",
     "fig3b",
     "fig3cd",
@@ -98,12 +101,13 @@ pub const ALL_EXPERIMENTS: [&str; 24] = [
     "transfer",
     "faults",
     "relay",
+    "recovery",
 ];
 
 /// One-line help per experiment, in [`ALL_EXPERIMENTS`] order — what
 /// `repro list` prints. A unit test pins the two registries to each
 /// other and to [`run_experiment`]'s dispatch table.
-pub const EXPERIMENT_HELP: [(&str, &str); 24] = [
+pub const EXPERIMENT_HELP: [(&str, &str); 25] = [
     ("fig3a", "recorded channel frequency response"),
     ("fig3b", "recorded noise floor spectra"),
     ("fig3cd", "recorded multipath delay profiles"),
@@ -128,6 +132,10 @@ pub const EXPERIMENT_HELP: [(&str, &str); 24] = [
     ("transfer", "bulk transfer goodput (RS + ARQ)"),
     ("faults", "fault-injection robustness sweep"),
     ("relay", "DTN multi-hop delivery vs churn, direct vs relay"),
+    (
+        "recovery",
+        "crash-fault tolerance, volatile vs durable custody",
+    ),
 ];
 
 #[cfg(test)]

@@ -71,7 +71,7 @@ fn intensities() -> [(&'static str, ChurnConfig); 3] {
 /// three rows and three columns diagonally from its source — ~85 m on
 /// the 20 m pitch, past the 60 m wall where the PER curves hit 1.0, so
 /// every pair is undeliverable single-hop but a few relay hops away.
-fn flows(nodes: usize, count: usize) -> Vec<(u16, u16)> {
+pub(crate) fn flows(nodes: usize, count: usize) -> Vec<(u16, u16)> {
     let cols = (nodes as f64).sqrt().ceil() as usize;
     let mut pairs = Vec::with_capacity(count);
     let mut k = 0usize;

@@ -167,6 +167,48 @@ impl ChurnSchedule {
             .any(|&(s, e)| s <= b_slot && a_slot < e)
     }
 
+    /// The downtime intervals of one node, in slot units.
+    pub fn intervals(&self, node: usize) -> &[(u64, u64)] {
+        &self.down[node]
+    }
+
+    /// Number of nodes the schedule covers.
+    pub fn nodes(&self) -> usize {
+        self.down.len()
+    }
+
+    /// Merges two schedules over the same fleet and horizon: a node is
+    /// down in the union iff it is down in either (sleep ∪ crash — the
+    /// simulator defers events on the union but applies crash recovery
+    /// only at crash wake edges). Union with an all-empty schedule
+    /// reproduces `self` interval-for-interval, so adding a disabled
+    /// crash model never perturbs a sleep-only run.
+    pub fn union(&self, other: &ChurnSchedule) -> ChurnSchedule {
+        assert_eq!(self.down.len(), other.down.len(), "fleet size mismatch");
+        assert_eq!(self.max_slots, other.max_slots, "horizon mismatch");
+        let down = self
+            .down
+            .iter()
+            .zip(&other.down)
+            .map(|(a, b)| {
+                let mut iv: Vec<(u64, u64)> = a.iter().chain(b.iter()).copied().collect();
+                iv.sort_unstable();
+                let mut out: Vec<(u64, u64)> = Vec::new();
+                for (s, e) in iv {
+                    match out.last_mut() {
+                        Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                        _ => out.push((s, e)),
+                    }
+                }
+                out
+            })
+            .collect();
+        ChurnSchedule {
+            down,
+            max_slots: self.max_slots,
+        }
+    }
+
     /// Fraction of the run the average node spends down.
     pub fn mean_downtime_frac(&self) -> f64 {
         if self.max_slots == 0 || self.down.is_empty() {
@@ -246,6 +288,25 @@ mod tests {
                 assert!(s < e && e <= 20_000);
             }
         }
+    }
+
+    #[test]
+    fn union_merges_overlaps_and_empty_is_identity() {
+        let a = ChurnSchedule::from_intervals(vec![vec![(10, 20), (40, 50)]], 100);
+        let empty = ChurnSchedule::from_intervals(vec![Vec::new()], 100);
+        assert_eq!(
+            a.union(&empty).down,
+            a.down,
+            "union with no crash schedule must not perturb sleep intervals"
+        );
+        assert_eq!(empty.union(&a).down, a.down);
+
+        let b = ChurnSchedule::from_intervals(vec![vec![(15, 30), (50, 60)]], 100);
+        let u = a.union(&b);
+        // (10,20)∪(15,30) merge; (40,50) touches (50,60) and merges too.
+        assert_eq!(u.down[0], vec![(10, 30), (40, 60)]);
+        assert_eq!(u.wake_at(0, 12), Some(30));
+        assert!(u.down_during(0, 55, 55));
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Fleet-wide conservation invariants for the chaos harness
+//! (DESIGN.md §15).
+//!
+//! [`FleetAudit`] is a plain-data snapshot of everything the invariants
+//! need — assembled by the simulator after a run, or hand-built (and
+//! hand-sabotaged) by the mutation tests that prove the oracle actually
+//! fires. [`check_invariants`] is a pure function over it:
+//!
+//! 1. **Custody conservation** — every fragment whose custody was ever
+//!    accepted somewhere and whose TTL has not expired is still held by
+//!    at least one live custodian, sitting in the destination's
+//!    reassembly buffer, or part of a delivered message. A fragment
+//!    that satisfies none of these silently broke the custody promise.
+//! 2. **At-most-once delivery** — no `(src, seq)` message is handed to
+//!    an application more than once, fleet-wide.
+//! 3. **Journal-bounded loss** — every crash-reboot replayed at least
+//!    as many records as were durable (synced) at the crash instant;
+//!    only the un-synced tail may vanish.
+//!
+//! The checker deliberately knows nothing about *how* the run was
+//! driven: it cannot be fooled by the machinery it audits.
+
+use crate::bundle::BundleKey;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Post-run snapshot of fleet custody state.
+#[derive(Debug, Clone, Default)]
+pub struct FleetAudit {
+    /// Every fragment whose custody was accepted by any node during the
+    /// run, with the message destination; TTL-expired fragments are
+    /// excluded by the collector (expiry lawfully ends custody).
+    pub offered: Vec<(BundleKey, u16)>,
+    /// Live custodians per fragment at the end of the run.
+    pub held: BTreeMap<BundleKey, Vec<u16>>,
+    /// Fragments sitting in destination reassembly buffers, per node.
+    pub dest_frags: BTreeMap<u16, BTreeSet<BundleKey>>,
+    /// Messages delivered per node (`node -> {(src, seq)}`).
+    pub delivered: BTreeMap<u16, BTreeSet<(u16, u16)>>,
+    /// Every delivery event in order (`(src, seq)` per hand-up, with
+    /// duplicates if the engine ever produced them).
+    pub deliveries: Vec<(u16, u16)>,
+    /// Every crash-reboot: `(node, durable records, replayed records)`.
+    pub reboots: Vec<(u16, u64, u64)>,
+}
+
+/// One invariant breach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// An unexpired accepted fragment is neither held, nor at its
+    /// destination, nor delivered.
+    CustodyLost {
+        /// The vanished fragment.
+        key: BundleKey,
+    },
+    /// A message was handed to an application more than once.
+    DoubleDelivery {
+        /// Message source address.
+        src: u16,
+        /// Source's message sequence number.
+        seq: u16,
+    },
+    /// A reboot recovered fewer records than were durable at the crash.
+    JournalLoss {
+        /// The crashed node.
+        node: u16,
+        /// Records synced at the crash instant.
+        durable: u64,
+        /// Records actually replayed.
+        replayed: u64,
+    },
+}
+
+/// Checks all three invariants; an empty vector means the run is clean.
+pub fn check_invariants(audit: &FleetAudit) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    let delivered_msgs: BTreeSet<(u16, u16)> = audit
+        .delivered
+        .values()
+        .flat_map(|s| s.iter().copied())
+        .collect();
+    let mut flagged: BTreeSet<BundleKey> = BTreeSet::new();
+    for (key, dst) in &audit.offered {
+        if flagged.contains(key) {
+            continue;
+        }
+        let held = audit.held.get(key).is_some_and(|v| !v.is_empty());
+        let at_dest = audit.dest_frags.get(dst).is_some_and(|s| s.contains(key));
+        let delivered = delivered_msgs.contains(&(key.src, key.seq));
+        if !(held || at_dest || delivered) {
+            flagged.insert(*key);
+            out.push(Violation::CustodyLost { key: *key });
+        }
+    }
+
+    let mut seen_deliveries: BTreeSet<(u16, u16)> = BTreeSet::new();
+    let mut dup_flagged: BTreeSet<(u16, u16)> = BTreeSet::new();
+    for d in &audit.deliveries {
+        if !seen_deliveries.insert(*d) && dup_flagged.insert(*d) {
+            out.push(Violation::DoubleDelivery { src: d.0, seq: d.1 });
+        }
+    }
+
+    for &(node, durable, replayed) in &audit.reboots {
+        if replayed < durable {
+            out.push(Violation::JournalLoss {
+                node,
+                durable,
+                replayed,
+            });
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(src: u16, frag: u16) -> BundleKey {
+        BundleKey { src, seq: 0, frag }
+    }
+
+    fn clean_audit() -> FleetAudit {
+        let mut a = FleetAudit {
+            offered: vec![(key(1, 0), 9), (key(1, 1), 9), (key(2, 0), 9)],
+            ..FleetAudit::default()
+        };
+        // frag (1,0) still held by node 4; frag (1,1) at the destination;
+        // message from src 2 fully delivered.
+        a.held.insert(key(1, 0), vec![4]);
+        a.dest_frags.entry(9).or_default().insert(key(1, 1));
+        a.delivered.entry(9).or_default().insert((2, 0));
+        a.deliveries.push((2, 0));
+        a.reboots.push((4, 10, 12));
+        a
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        assert!(check_invariants(&clean_audit()).is_empty());
+    }
+
+    #[test]
+    fn vanished_custody_is_flagged_once() {
+        let mut a = clean_audit();
+        a.held.remove(&key(1, 0));
+        // Duplicate offers of the same fragment collapse to one flag.
+        a.offered.push((key(1, 0), 9));
+        let v = check_invariants(&a);
+        assert_eq!(v, vec![Violation::CustodyLost { key: key(1, 0) }]);
+    }
+
+    #[test]
+    fn delivery_anywhere_satisfies_conservation() {
+        let mut a = clean_audit();
+        // The held copy vanishes, but the message was delivered: the
+        // fragment's job is done, custody lawfully ended.
+        a.held.remove(&key(1, 0));
+        a.delivered.entry(9).or_default().insert((1, 0));
+        a.deliveries.push((1, 0));
+        assert!(check_invariants(&a).is_empty());
+    }
+
+    #[test]
+    fn double_delivery_is_flagged_once() {
+        let mut a = clean_audit();
+        a.deliveries.push((2, 0));
+        a.deliveries.push((2, 0));
+        let v = check_invariants(&a);
+        assert_eq!(v, vec![Violation::DoubleDelivery { src: 2, seq: 0 }]);
+    }
+
+    #[test]
+    fn journal_regression_is_flagged() {
+        let mut a = clean_audit();
+        a.reboots.push((7, 20, 19));
+        let v = check_invariants(&a);
+        assert_eq!(
+            v,
+            vec![Violation::JournalLoss {
+                node: 7,
+                durable: 20,
+                replayed: 19
+            }]
+        );
+    }
+}

@@ -31,20 +31,29 @@
 //! injected, frames go in and out as values, and the scripted-contact
 //! tests drive it without any ocean machinery.
 
+pub mod audit;
 pub mod beacon;
 pub mod bundle;
 pub mod custody;
 pub mod error;
 pub mod frame;
+pub mod journal;
 pub mod queue;
+pub mod recovery;
 pub mod relay;
 pub mod sim;
 
+pub use audit::{check_invariants, FleetAudit, Violation};
 pub use beacon::{Beacon, NeighborTable};
 pub use bundle::{Bundle, BundleKey, BundleReassembler, Priority};
 pub use custody::CustodyAck;
 pub use error::NetParseError;
 pub use frame::Frame;
+pub use journal::{Journal, JournalConfig, JournalStats, Record};
 pub use queue::{DupFilter, InsertOutcome, StoreQueue};
-pub use relay::{source_message, Delivered, RelayConfig, RelayNode, RelayStats};
-pub use sim::{run_relay_ocean, RelayOceanConfig, RelayOceanResult, RelayTopology, RelayTraffic};
+pub use recovery::{recover, Recovered};
+pub use relay::{source_message, Delivered, RebootRecord, RelayConfig, RelayNode, RelayStats};
+pub use sim::{
+    run_relay_ocean, run_relay_ocean_audit, try_run_relay_ocean, RelayOceanConfig,
+    RelayOceanResult, RelayTopology, RelayTraffic, SimConfigError,
+};

@@ -146,11 +146,18 @@ impl StoreQueue {
         }
     }
 
-    /// Drops every expired bundle; returns how many died of TTL.
-    pub fn expire(&mut self, now_s: f64) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|e| e.expires_s > now_s);
-        before - self.entries.len()
+    /// Drops every expired bundle; returns the keys that died of TTL
+    /// (the relay journals each drop so recovery never resurrects one).
+    pub fn expire(&mut self, now_s: f64) -> Vec<BundleKey> {
+        let mut dead = Vec::new();
+        self.entries.retain(|e| {
+            let live = e.expires_s > now_s;
+            if !live {
+                dead.push(e.bundle.key());
+            }
+            live
+        });
+        dead
     }
 }
 
@@ -188,6 +195,13 @@ impl DupFilter {
                 }
             }
         }
+    }
+
+    /// Keys currently remembered, oldest first (snapshot order: replaying
+    /// these inserts into a fresh filter reproduces this one exactly,
+    /// FIFO eviction horizon included).
+    pub fn iter(&self) -> impl Iterator<Item = &BundleKey> {
+        self.order.iter()
     }
 
     /// Keys currently remembered.
@@ -261,7 +275,9 @@ mod tests {
         let mut q = StoreQueue::new(4);
         q.insert(stored(1, Priority::Chat, 10.0));
         q.insert(stored(2, Priority::Sos, 20.0));
-        assert_eq!(q.expire(15.0), 1);
+        let dead = q.expire(15.0);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].src, 1);
         assert_eq!(q.len(), 1);
         assert_eq!(q.entries()[0].bundle.src, 2);
     }

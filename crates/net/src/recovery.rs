@@ -1,0 +1,181 @@
+//! Reboot recovery: folding a replayed journal back into live relay
+//! state (DESIGN.md §15).
+//!
+//! [`recover`] is a pure fold over the record chain
+//! [`crate::journal::Journal::crash`] returns. It reconstructs exactly
+//! the durable custody state — queue membership with copy budgets and
+//! absolute expiries, the seen/cured duplicate filters *in FIFO
+//! insertion order* (capacity eviction replays identically), the
+//! destination reassembly fragments, and the delivered-message set —
+//! while deliberately resetting everything transient:
+//!
+//! - custody retry state (`AwaitingAck` → `Idle`, retries → 0): an ACK
+//!   for a pre-crash transmission may still arrive and is then handled
+//!   as stale — the retransmission is idempotent at the receiver;
+//! - spray exclusion lists: re-spraying a neighbor already granted
+//!   copies is absorbed by its duplicate filter;
+//! - RTT estimation: Karn's rule across reboots — no sample from
+//!   before the crash may feed the estimator, so the relay re-seeds a
+//!   fresh one ([`crate::relay::RelayNode::crash_reboot`]).
+//!
+//! Bundles whose TTL passed while the node was down are dropped during
+//! the fold (counted, so the stats ledger stays honest).
+
+use crate::bundle::{Bundle, BundleKey};
+use crate::journal::Record;
+use crate::queue::StoredBundle;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Durable relay state reconstructed from a journal replay.
+#[derive(Debug, Clone, Default)]
+pub struct Recovered {
+    /// Store-and-forward entries, in original queue order.
+    pub entries: Vec<StoredBundle>,
+    /// Seen-filter insert operations, in original order (duplicates
+    /// included — the filter's FIFO semantics dedupe them exactly as
+    /// the live path did).
+    pub seen_ops: Vec<BundleKey>,
+    /// Cured-filter insert operations, in original order.
+    pub cured_ops: Vec<BundleKey>,
+    /// Reassembly fragments per message `(src, seq)`, undelivered only.
+    pub frags: BTreeMap<(u16, u16), BTreeMap<u16, Bundle>>,
+    /// Messages already handed to the application here.
+    pub delivered: BTreeSet<(u16, u16)>,
+    /// Queue entries dropped because their TTL passed during the
+    /// outage.
+    pub expired: usize,
+}
+
+/// Folds a replayed record chain into recovered state at `now_s` (the
+/// reboot time; TTL expiry is applied against it).
+pub fn recover(records: &[Record], now_s: f64) -> Recovered {
+    let mut out = Recovered::default();
+    for rec in records {
+        match rec {
+            Record::Accept {
+                came_from,
+                copies,
+                expires_s,
+                bundle,
+            } => {
+                let key = bundle.key();
+                out.seen_ops.push(key);
+                let entry = Record::to_stored(*came_from, *copies, *expires_s, bundle.clone());
+                match out.entries.iter().position(|e| e.bundle.key() == key) {
+                    // Accept-while-held cannot be journaled by the live
+                    // paths (they write `Copies` instead), but replay
+                    // stays total: the newer grant wins.
+                    Some(i) => out.entries[i] = entry,
+                    None => out.entries.push(entry),
+                }
+            }
+            Record::Release { key } => {
+                if let Some(i) = out.entries.iter().position(|e| e.bundle.key() == *key) {
+                    out.entries.remove(i);
+                }
+            }
+            Record::Copies { key, copies } => {
+                if let Some(i) = out.entries.iter().position(|e| e.bundle.key() == *key) {
+                    out.entries[i].copies = *copies;
+                }
+            }
+            Record::Cure { key } => out.cured_ops.push(*key),
+            Record::Seen { key } => out.seen_ops.push(*key),
+            Record::FragIn { bundle } => {
+                let slot = (bundle.src, bundle.seq);
+                if !out.delivered.contains(&slot) {
+                    out.frags
+                        .entry(slot)
+                        .or_default()
+                        .insert(bundle.frag_index, bundle.clone());
+                }
+            }
+            Record::Deliver { src, seq } => {
+                out.delivered.insert((*src, *seq));
+                // The reassembly buffer is freed on delivery; replay
+                // frees it too.
+                out.frags.remove(&(*src, *seq));
+            }
+        }
+    }
+    let before = out.entries.len();
+    out.entries.retain(|e| e.expires_s > now_s);
+    out.expired = before - out.entries.len();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{fragment_message, Priority};
+
+    fn bundles(seq: u16, payload: &[u8]) -> Vec<Bundle> {
+        fragment_message(3, 9, seq, Priority::Chat, true, 600, 4, payload, 4).expect("geometry")
+    }
+
+    #[test]
+    fn accept_release_copies_fold_to_queue_state() {
+        let bs = bundles(0, &[1, 2, 3, 4, 5, 6, 7]);
+        let (a, b) = (bs[0].clone(), bs[1].clone());
+        let records = vec![
+            Record::Accept {
+                came_from: 2,
+                copies: 4,
+                expires_s: 100.0,
+                bundle: a.clone(),
+            },
+            Record::Accept {
+                came_from: 2,
+                copies: 4,
+                expires_s: 100.0,
+                bundle: b.clone(),
+            },
+            Record::Copies {
+                key: a.key(),
+                copies: 2,
+            },
+            Record::Release { key: b.key() },
+        ];
+        let rec = recover(&records, 0.0);
+        assert_eq!(rec.entries.len(), 1);
+        assert_eq!(rec.entries[0].bundle.key(), a.key());
+        assert_eq!(rec.entries[0].copies, 2);
+        assert_eq!(rec.seen_ops, vec![a.key(), b.key()]);
+    }
+
+    #[test]
+    fn ttl_expiry_applies_at_reboot_time() {
+        let bs = bundles(1, &[9; 3]);
+        let records = vec![Record::Accept {
+            came_from: 3,
+            copies: 1,
+            expires_s: 50.0,
+            bundle: bs[0].clone(),
+        }];
+        let live = recover(&records, 49.0);
+        assert_eq!((live.entries.len(), live.expired), (1, 0));
+        let dead = recover(&records, 50.0);
+        assert_eq!((dead.entries.len(), dead.expired), (0, 1));
+    }
+
+    #[test]
+    fn delivery_clears_the_reassembly_buffer() {
+        let bs = bundles(2, &[1, 2, 3, 4, 5, 6]);
+        let records = vec![
+            Record::FragIn {
+                bundle: bs[0].clone(),
+            },
+            Record::FragIn {
+                bundle: bs[1].clone(),
+            },
+            Record::Deliver { src: 3, seq: 2 },
+            // Post-delivery duplicates never resurrect the buffer.
+            Record::FragIn {
+                bundle: bs[0].clone(),
+            },
+        ];
+        let rec = recover(&records, 0.0);
+        assert!(rec.frags.is_empty());
+        assert!(rec.delivered.contains(&(3, 2)));
+    }
+}

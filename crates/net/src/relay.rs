@@ -15,15 +15,28 @@
 //! next relay and keeps `floor(c/2)`, so copies spread geometrically and
 //! a single-copy holder waits for the destination itself. Copies only
 //! move on a custody ACK — a lost transfer costs a retry, never a copy.
+//!
+//! **Crash-fault tolerance** (DESIGN.md §15). A node built with
+//! [`RelayNode::with_journal`] write-ahead-logs every custody-state
+//! mutation to a [`Journal`] and syncs it at the two irreversible
+//! commitments — before any custody ACK leaves (the ACK *is* the
+//! durability promise the upstream hop releases its copy on) and at
+//! every application hand-up. [`RelayNode::crash_reboot`] models a
+//! power-cycle: all volatile state dies, the journal is replayed
+//! ([`crate::recovery::recover`]), retry timers re-arm fresh under
+//! Karn's rule, and the recovered custody re-announces itself through
+//! the ordinary forwarding path (recovered entries are `Idle` and
+//! least-recently-sent, so they lead the next transmit opportunity).
 
 use crate::beacon::{Beacon, NeighborTable};
-use crate::bundle::{Bundle, BundleReassembler, Priority};
+use crate::bundle::{Bundle, BundleKey, BundleReassembler, Priority};
 use crate::custody::CustodyAck;
 use crate::frame::Frame;
+use crate::journal::{Journal, JournalConfig, JournalStats, Record};
 use crate::queue::{CustodyState, DupFilter, InsertOutcome, StoreQueue, StoredBundle};
-use aqua_proto::transfer::Accept;
+use crate::recovery::recover;
 use aquapp::arq::RttEstimator;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Relay engine knobs.
 #[derive(Debug, Clone)]
@@ -123,6 +136,40 @@ pub struct RelayStats {
     pub delivered_msgs: u64,
 }
 
+/// One crash-reboot of a node, as observed by its own ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebootRecord {
+    /// Journal bytes that were durable (synced) at the crash instant.
+    pub durable: u64,
+    /// Records recovered by replay (durable + torn-tail prefix).
+    pub replayed: u64,
+    /// Recovered queue entries dropped because their TTL passed during
+    /// the outage.
+    pub expired: u64,
+}
+
+/// Destination-side fragment buffer for one in-progress message.
+///
+/// Fragments are kept whole (not folded into a [`BundleReassembler`]
+/// eagerly) so the buffer round-trips through the journal: replaying
+/// `FragIn` records reconstructs it bit-exactly.
+#[derive(Debug, Default)]
+struct PartialMessage {
+    frags: BTreeMap<u16, Bundle>,
+}
+
+/// Assembles a complete fragment set into the original payload.
+/// Returns `None` only if the fragments disagree on geometry — which
+/// parse validation already excludes for wire-received bundles.
+fn assemble_frags(frags: &BTreeMap<u16, Bundle>) -> Option<Vec<u8>> {
+    let first = frags.values().next()?;
+    let mut r = BundleReassembler::new(first).ok()?;
+    for b in frags.values() {
+        r.accept(b);
+    }
+    r.assemble()
+}
+
 /// One node's delay-tolerant relay stack.
 #[derive(Debug)]
 pub struct RelayNode {
@@ -138,15 +185,36 @@ pub struct RelayNode {
     neighbors: NeighborTable,
     rtt: RttEstimator,
     acks_out: VecDeque<(u16, CustodyAck)>,
-    reassembly: BTreeMap<(u16, u16), BundleReassembler>,
+    reassembly: BTreeMap<(u16, u16), PartialMessage>,
+    /// Messages already handed to the application here. Unlike the
+    /// FIFO-bounded `cured` filter this set is exact: at-most-once
+    /// delivery must not decay under memory pressure (the set costs
+    /// 4 bytes per delivered message, a far cheaper promise than the
+    /// duplicate hand-up it prevents).
+    delivered_here: BTreeSet<(u16, u16)>,
+    /// Write-ahead journal; `None` models a volatile node.
+    journal: Option<Journal>,
+    base_seed: u64,
+    reboot_log: Vec<RebootRecord>,
     beacon_seq: u16,
     rr_cursor: usize,
     stats: RelayStats,
 }
 
 impl RelayNode {
-    /// A fresh node at `addr`; `seed` randomizes only its retry jitter.
+    /// A fresh volatile node at `addr`; `seed` randomizes only its retry
+    /// jitter.
     pub fn new(addr: u16, cfg: RelayConfig, seed: u64) -> Self {
+        Self::build(addr, cfg, seed, None)
+    }
+
+    /// A node whose custody state is journaled to simulated flash and
+    /// survives [`Self::crash_reboot`].
+    pub fn with_journal(addr: u16, cfg: RelayConfig, seed: u64, jcfg: JournalConfig) -> Self {
+        Self::build(addr, cfg, seed, Some(Journal::new(jcfg)))
+    }
+
+    fn build(addr: u16, cfg: RelayConfig, seed: u64, journal: Option<Journal>) -> Self {
         let rtt = RttEstimator::new(seed, cfg.min_rto_s, cfg.max_rto_s);
         Self {
             addr,
@@ -158,6 +226,10 @@ impl RelayNode {
             rtt,
             acks_out: VecDeque::new(),
             reassembly: BTreeMap::new(),
+            delivered_here: BTreeSet::new(),
+            journal,
+            base_seed: seed,
+            reboot_log: Vec::new(),
             beacon_seq: 0,
             rr_cursor: 0,
             stats: RelayStats::default(),
@@ -179,6 +251,69 @@ impl RelayNode {
         self.queue.len()
     }
 
+    /// Keys of the bundles currently in custody (audit snapshot).
+    pub fn queue_keys(&self) -> Vec<BundleKey> {
+        self.queue
+            .entries()
+            .iter()
+            .map(|e| e.bundle.key())
+            .collect()
+    }
+
+    /// `(key, copies)` for every custody entry, in queue order
+    /// (recovery-equivalence tests compare this across a crash).
+    pub fn queue_snapshot(&self) -> Vec<(BundleKey, u8)> {
+        self.queue
+            .entries()
+            .iter()
+            .map(|e| (e.bundle.key(), e.copies))
+            .collect()
+    }
+
+    /// Fragment keys sitting in this node's reassembly buffers (audit
+    /// snapshot: custody of these has been accepted by the destination
+    /// even though no queue entry exists).
+    pub fn pending_frag_keys(&self) -> Vec<BundleKey> {
+        self.reassembly
+            .values()
+            .flat_map(|p| p.frags.values().map(|b| b.key()))
+            .collect()
+    }
+
+    /// `(src, seq)` of every message delivered to the application here.
+    pub fn delivered_message_ids(&self) -> Vec<(u16, u16)> {
+        self.delivered_here.iter().copied().collect()
+    }
+
+    /// Crash-reboots survived so far, with their recovery ledgers.
+    pub fn reboot_log(&self) -> &[RebootRecord] {
+        &self.reboot_log
+    }
+
+    /// Journal counters, if this node journals.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.journal.as_ref().map(|j| j.stats())
+    }
+
+    /// Appends one record to the journal (no-op on volatile nodes) and
+    /// compacts when the log exceeds its budget.
+    fn jot(&mut self, rec: Record) {
+        let Some(j) = self.journal.as_mut() else {
+            return;
+        };
+        j.append(&rec);
+        if j.wants_compaction() {
+            let snap = snapshot_records(
+                &self.queue,
+                &self.seen,
+                &self.cured,
+                &self.reassembly,
+                &self.delivered_here,
+            );
+            j.compact(&snap);
+        }
+    }
+
     /// Accepts locally-sourced bundles into the queue; returns how many
     /// were stored (the rest were refused by a full queue).
     pub fn source(&mut self, bundles: Vec<Bundle>, now_s: f64) -> usize {
@@ -196,17 +331,33 @@ impl RelayNode {
                 retries: 0,
                 sprayed_to: Vec::new(),
             };
+            let copies = entry.copies;
+            let bundle = entry.bundle.clone();
             match self.queue.insert(entry) {
-                InsertOutcome::Stored => {
+                outcome @ (InsertOutcome::Stored | InsertOutcome::StoredEvicting(_)) => {
+                    if let InsertOutcome::StoredEvicting(victim) = outcome {
+                        self.stats.evictions_cap += 1;
+                        self.jot(Record::Release { key: victim });
+                    }
                     self.seen.insert(key);
-                    stored += 1;
-                }
-                InsertOutcome::StoredEvicting(_) => {
-                    self.seen.insert(key);
-                    self.stats.evictions_cap += 1;
+                    self.jot(Record::Accept {
+                        came_from: self.addr,
+                        copies,
+                        expires_s,
+                        bundle,
+                    });
                     stored += 1;
                 }
                 InsertOutcome::Rejected => self.stats.queue_rejects += 1,
+            }
+        }
+        // Accepting application traffic is the third irreversible
+        // commitment (besides ACK emission and delivery): the app hands
+        // the message down exactly once and will not re-offer it, so its
+        // custody must be durable before `source` returns.
+        if stored > 0 {
+            if let Some(j) = self.journal.as_mut() {
+                j.sync();
             }
         }
         self.stats.sourced += stored as u64;
@@ -217,7 +368,11 @@ impl RelayNode {
     /// implicitly by [`Self::next_frame`]; callers with no airtime can
     /// invoke it directly.
     pub fn tick(&mut self, now_s: f64) {
-        self.stats.evictions_ttl += self.queue.expire(now_s) as u64;
+        let dead = self.queue.expire(now_s);
+        self.stats.evictions_ttl += dead.len() as u64;
+        for key in dead {
+            self.jot(Record::Release { key });
+        }
         self.neighbors.prune(now_s);
         let mut losses = 0u32;
         for e in self.queue.entries_mut() {
@@ -242,6 +397,14 @@ impl RelayNode {
     pub fn next_frame(&mut self, now_s: f64, candidates: &[u16]) -> Option<(u16, Frame)> {
         self.tick(now_s);
         if let Some((hop, ack)) = self.acks_out.pop_front() {
+            // Sync-before-ACK: the custody ACK is the durability promise
+            // the upstream hop releases its copy on, so every record
+            // behind it must hit stable storage before the ACK can leave.
+            // A crash *before* this point means no promise was made (the
+            // upstream retries); a crash after replays the acceptance.
+            if let Some(j) = self.journal.as_mut() {
+                j.sync();
+            }
             return Some((hop, Frame::CustodyAck(ack)));
         }
         if let Some((idx, target)) = self.select_bundle(now_s, candidates) {
@@ -400,6 +563,9 @@ impl RelayNode {
             // End-to-end completion is global knowledge: remember it even
             // when the ACK is stale here, and pass it on when anyone
             // offers this fragment again.
+            if !self.cured.contains(a.key()) {
+                self.jot(Record::Cure { key: a.key() });
+            }
             self.cured.insert(a.key());
         }
         let Some(idx) = self.queue.position(a.key()) else {
@@ -422,6 +588,7 @@ impl RelayNode {
         self.stats.custody_transfers += 1;
         if a.delivered || hop == e.bundle.dst {
             self.queue.remove(idx);
+            self.jot(Record::Release { key: a.key() });
             return;
         }
         // Binary spray: the new custodian took ceil(c/2); keep the rest.
@@ -429,10 +596,15 @@ impl RelayNode {
         let kept = e.copies - granted;
         if kept == 0 {
             self.queue.remove(idx);
+            self.jot(Record::Release { key: a.key() });
         } else {
             e.copies = kept;
             e.sprayed_to.push(hop);
             e.state = CustodyState::Idle;
+            self.jot(Record::Copies {
+                key: a.key(),
+                copies: kept,
+            });
         }
     }
 
@@ -465,9 +637,14 @@ impl RelayNode {
                 // into a live custodian would quietly shrink the
                 // bundle's global copy budget.
                 self.stats.dup_suppressed += 1;
-                self.queue.entries_mut()[idx].copies = self.queue.entries_mut()[idx]
+                let new_copies = self.queue.entries_mut()[idx]
                     .copies
                     .saturating_add(b.copies);
+                self.queue.entries_mut()[idx].copies = new_copies;
+                self.jot(Record::Copies {
+                    key,
+                    copies: new_copies,
+                });
                 if b.custody {
                     self.stats.dup_acks += 1;
                     self.push_ack(from, &b, false);
@@ -488,14 +665,16 @@ impl RelayNode {
             return Vec::new();
         }
         let custody = b.custody;
+        let expires_s = now_s + b.ttl_s as f64;
+        let stored = Bundle {
+            hops: b.hops + 1,
+            ..b.clone()
+        };
         let entry = StoredBundle {
             came_from: from,
             copies: b.copies,
-            expires_s: now_s + b.ttl_s as f64,
-            bundle: Bundle {
-                hops: b.hops + 1,
-                ..b.clone()
-            },
+            expires_s,
+            bundle: stored.clone(),
             last_sent_s: now_s,
             state: CustodyState::Idle,
             retries: 0,
@@ -503,10 +682,17 @@ impl RelayNode {
         };
         match self.queue.insert(entry) {
             outcome @ (InsertOutcome::Stored | InsertOutcome::StoredEvicting(_)) => {
-                if matches!(outcome, InsertOutcome::StoredEvicting(_)) {
+                if let InsertOutcome::StoredEvicting(victim) = outcome {
                     self.stats.evictions_cap += 1;
+                    self.jot(Record::Release { key: victim });
                 }
                 self.seen.insert(key);
+                self.jot(Record::Accept {
+                    came_from: from,
+                    copies: b.copies,
+                    expires_s,
+                    bundle: stored,
+                });
                 self.stats.custody_accepted += 1;
                 if custody {
                     self.push_ack(from, &b, false);
@@ -524,37 +710,124 @@ impl RelayNode {
     /// Destination-side handling: always ACK (idempotently, even for
     /// duplicates — the sender's ACK may have drowned), reassemble, and
     /// hand completed messages up exactly once.
+    ///
+    /// At-most-once is enforced by the exact `delivered_here` set, not
+    /// the FIFO-bounded `cured` filter: a delivered key evicted from
+    /// `cured` under pressure could otherwise let a lingering spray copy
+    /// re-open the reassembly buffer and hand the message up twice.
     fn deliver_local(&mut self, from: u16, b: Bundle) -> Vec<Delivered> {
+        let slot = (b.src, b.seq);
+        if self.delivered_here.contains(&slot) {
+            self.stats.dup_suppressed += 1;
+            if b.custody {
+                self.push_ack(from, &b, true);
+            }
+            return Vec::new();
+        }
         if b.custody {
             self.push_ack(from, &b, true);
         }
-        let slot = (b.src, b.seq);
-        if !self.reassembly.contains_key(&slot) {
-            match BundleReassembler::new(&b) {
-                Ok(r) => {
-                    self.reassembly.insert(slot, r);
-                }
-                // Parse-validated geometry can still exceed plan limits
-                // (e.g. oversized generation); drop rather than panic.
-                Err(_) => return Vec::new(),
-            }
-        }
-        let r = self.reassembly.get_mut(&slot).expect("just inserted");
-        if matches!(r.accept(&b), Accept::Duplicate) {
+        let partial = self.reassembly.entry(slot).or_default();
+        if partial.frags.contains_key(&b.frag_index) {
             self.stats.dup_suppressed += 1;
+            return Vec::new();
         }
-        if r.complete() && !r.delivered() {
-            if let Some(payload) = r.assemble() {
-                r.mark_delivered();
-                self.stats.delivered_msgs += 1;
-                return vec![Delivered {
-                    src: b.src,
-                    seq: b.seq,
-                    payload,
-                }];
-            }
+        partial.frags.insert(b.frag_index, b.clone());
+        let ready = partial.frags.len() == b.frag_count as usize;
+        self.jot(Record::FragIn { bundle: b.clone() });
+        if !ready {
+            return Vec::new();
         }
-        Vec::new()
+        // Safe to unwrap-free assemble: a complete set of parse-valid
+        // fragments always reconstructs (geometry is CRC-validated per
+        // fragment); a disagreeing set is dropped, never panicked on.
+        let done = self
+            .reassembly
+            .get(&slot)
+            .and_then(|p| assemble_frags(&p.frags));
+        let Some(payload) = done else {
+            return Vec::new();
+        };
+        self.reassembly.remove(&slot);
+        self.delivered_here.insert(slot);
+        self.jot(Record::Deliver {
+            src: b.src,
+            seq: b.seq,
+        });
+        // Delivery is irreversible at the application layer: make the
+        // journal agree before anything else can happen.
+        if let Some(j) = self.journal.as_mut() {
+            j.sync();
+        }
+        self.stats.delivered_msgs += 1;
+        vec![Delivered {
+            src: b.src,
+            seq: b.seq,
+            payload,
+        }]
+    }
+
+    /// Power-cycles the node at `now_s`: every volatile structure dies,
+    /// then (if journaling) the stable log plus the torn tail prefix
+    /// selected by `torn_seed` is replayed into fresh state.
+    ///
+    /// What deliberately does *not* survive, even with a journal:
+    /// - retry state — recovered entries come back `Idle` with zero
+    ///   retries; an ACK for a pre-crash transmission arrives as stale
+    ///   (idempotent at both ends);
+    /// - the RTT estimator — Karn's rule across reboot: no sample that
+    ///   straddles the outage may feed the filter, so a fresh
+    ///   reboot-salted estimator is seeded instead;
+    /// - neighbors, pending ACKs, beacon/rotation cursors — all
+    ///   re-learned or re-offered through the ordinary protocol.
+    pub fn crash_reboot(&mut self, now_s: f64, torn_seed: u64) {
+        let n = self.reboot_log.len() as u64 + 1;
+        self.queue = StoreQueue::new(self.cfg.queue_cap);
+        self.seen = DupFilter::new(self.cfg.seen_cap);
+        self.cured = DupFilter::new(self.cfg.seen_cap);
+        self.neighbors = NeighborTable::new(self.cfg.neighbor_expiry_s);
+        self.rtt = RttEstimator::new(
+            self.base_seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            self.cfg.min_rto_s,
+            self.cfg.max_rto_s,
+        );
+        self.acks_out.clear();
+        self.reassembly.clear();
+        self.delivered_here.clear();
+        self.beacon_seq = 0;
+        self.rr_cursor = 0;
+        let Some(j) = self.journal.as_mut() else {
+            self.reboot_log.push(RebootRecord {
+                durable: 0,
+                replayed: 0,
+                expired: 0,
+            });
+            return;
+        };
+        let (durable, records) = j.crash(torn_seed);
+        let rec = recover(&records, now_s);
+        for key in &rec.seen_ops {
+            self.seen.insert(*key);
+        }
+        for key in &rec.cured_ops {
+            self.cured.insert(*key);
+        }
+        for entry in rec.entries {
+            // Replaying into an empty queue of the same capacity cannot
+            // reject: the journal never holds more live entries than the
+            // queue did.
+            self.queue.insert(entry);
+        }
+        for ((src, seq), frags) in rec.frags {
+            self.reassembly.insert((src, seq), PartialMessage { frags });
+        }
+        self.delivered_here = rec.delivered;
+        self.stats.evictions_ttl += rec.expired as u64;
+        self.reboot_log.push(RebootRecord {
+            durable,
+            replayed: records.len() as u64,
+            expired: rec.expired as u64,
+        });
     }
 
     fn push_ack(&mut self, hop: u16, b: &Bundle, delivered: bool) {
@@ -569,6 +842,49 @@ impl RelayNode {
             },
         ));
     }
+}
+
+/// Flattens live relay state into a compacted record chain: replaying
+/// it through [`recover`] reproduces the state exactly. Free function
+/// (not a method) so [`RelayNode::jot`] can borrow the fields disjointly
+/// from the journal it is writing to.
+fn snapshot_records(
+    queue: &StoreQueue,
+    seen: &DupFilter,
+    cured: &DupFilter,
+    reassembly: &BTreeMap<(u16, u16), PartialMessage>,
+    delivered_here: &BTreeSet<(u16, u16)>,
+) -> Vec<Record> {
+    let mut out = Vec::new();
+    // Seen keys first, in FIFO order, so replay reproduces the filter's
+    // eviction horizon; Accept records re-push held keys harmlessly
+    // (DupFilter re-insert of a present key is a no-op).
+    for key in seen.iter() {
+        out.push(Record::Seen { key: *key });
+    }
+    for key in cured.iter() {
+        out.push(Record::Cure { key: *key });
+    }
+    for e in queue.entries() {
+        out.push(Record::Accept {
+            came_from: e.came_from,
+            copies: e.copies,
+            expires_s: e.expires_s,
+            bundle: e.bundle.clone(),
+        });
+    }
+    for p in reassembly.values() {
+        for b in p.frags.values() {
+            out.push(Record::FragIn { bundle: b.clone() });
+        }
+    }
+    for (src, seq) in delivered_here {
+        out.push(Record::Deliver {
+            src: *src,
+            seq: *seq,
+        });
+    }
+    out
 }
 
 /// Convenience: sources one application message into `node` with the
@@ -745,6 +1061,62 @@ mod tests {
         // One copy left: wait for the destination, beacon meanwhile.
         let (_, f) = a.next_frame(5.0, &[1, 2]).unwrap();
         assert!(matches!(f, Frame::Beacon(_)), "single copy waits for dst");
+    }
+
+    #[test]
+    fn crash_reboot_keeps_acked_custody_and_volatile_loses_it() {
+        let b = crate::bundle::fragment_message(0, 9, 0, Priority::Chat, true, 600, 4, &[7; 5], 4)
+            .unwrap()
+            .remove(0);
+        let mut r = RelayNode::with_journal(5, cfg(), 3, JournalConfig::default());
+        r.on_frame(0, Frame::Bundle(b.clone()), 1.0);
+        assert_eq!(r.queue_len(), 1);
+        // The custody ACK pops — syncing the journal before it leaves.
+        let (_, f) = r.next_frame(2.0, &[0]).unwrap();
+        assert!(matches!(f, Frame::CustodyAck(_)));
+        r.crash_reboot(10.0, 0xDEAD);
+        assert_eq!(r.queue_len(), 1, "acked custody survives the reboot");
+        assert_eq!(r.reboot_log().len(), 1);
+        assert!(r.reboot_log()[0].durable >= 1);
+        assert!(r.reboot_log()[0].replayed >= r.reboot_log()[0].durable);
+
+        let mut v = RelayNode::new(5, cfg(), 3);
+        v.on_frame(0, Frame::Bundle(b), 1.0);
+        v.next_frame(2.0, &[0]);
+        v.crash_reboot(10.0, 0xDEAD);
+        assert_eq!(v.queue_len(), 0, "volatile node loses custody");
+        assert_eq!(
+            v.reboot_log(),
+            &[RebootRecord {
+                durable: 0,
+                replayed: 0,
+                expired: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn delivery_memory_survives_crash_without_double_delivery() {
+        let mut d = RelayNode::with_journal(9, cfg(), 4, JournalConfig::default());
+        let frags =
+            crate::bundle::fragment_message(0, 9, 0, Priority::Chat, true, 600, 1, &[1; 6], 4)
+                .unwrap();
+        assert_eq!(frags.len(), 2);
+        let mut got = Vec::new();
+        for f in &frags {
+            got.extend(d.on_frame(0, Frame::Bundle(f.clone()), 1.0));
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(d.stats().delivered_msgs, 1);
+        // Delivery syncs the journal, so the crash cannot unwind it.
+        d.crash_reboot(50.0, 7);
+        let again = d.on_frame(0, Frame::Bundle(frags[0].clone()), 60.0);
+        assert!(
+            again.is_empty(),
+            "post-reboot duplicate must not re-deliver"
+        );
+        assert_eq!(d.stats().delivered_msgs, 1);
+        assert_eq!(d.delivered_message_ids(), vec![(0, 0)]);
     }
 
     #[test]

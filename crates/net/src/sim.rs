@@ -17,9 +17,24 @@
 //! core's MAC trajectory and RNG stream untouched relative to the plain
 //! ocean hooks; runs without a relay remain bit-identical to
 //! [`aqua_mac::ocean::run_ocean`] (`mac/tests/ocean_determinism.rs`).
+//!
+//! **Sleep vs crash** (DESIGN.md §15). Two independent downtime
+//! schedules gate a node's availability (their union defers events and
+//! drops receptions): the *sleep* schedule (`churn`) keeps all node
+//! state across the outage — today's behavior, so sleep-only runs stay
+//! bit-identical to the pre-crash baselines — while the *crash*
+//! schedule (`crash`) power-cycles the relay at each wake edge:
+//! volatile state dies and, if the node journals
+//! ([`RelayOceanConfig::journal`]), the durable log is replayed. Crash
+//! recovery is applied *lazily* at the node's next interaction — a down
+//! node neither transmits nor receives, so deferring the reboot to the
+//! first post-wake touch is observationally identical and keeps the
+//! application point pool-size-independent.
 
-use crate::bundle::{fragment_message, Priority};
+use crate::audit::FleetAudit;
+use crate::bundle::{fragment_message, BundleKey, Priority};
 use crate::frame::Frame;
+use crate::journal::JournalConfig;
 use crate::relay::{RelayConfig, RelayNode, RelayStats};
 use aqua_channel::geometry::Pos;
 use aqua_mac::netsim::MacConfig;
@@ -29,7 +44,8 @@ use aqua_mac::ocean::phy::PhyResolver;
 use aqua_mac::ocean::topology::{GeoMedium, OceanTopology, RangeGain};
 use aqua_mac::ocean::{Band, ChurnConfig, PerTable, TopologyKind};
 use aqua_par::Pool;
-use std::collections::HashMap;
+use aqua_proto::transfer::PlanError;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Where the fleet sits.
 #[derive(Debug, Clone)]
@@ -88,12 +104,23 @@ pub struct RelayOceanConfig {
     pub seed: u64,
     /// Receptions buffered before a parallel resolution flush.
     pub batch: usize,
-    /// Node churn model ([`ChurnConfig::none`] for an always-on fleet).
+    /// Node *sleep* model: downtime with state kept
+    /// ([`ChurnConfig::none`] for an always-on fleet).
     pub churn: ChurnConfig,
-    /// Exact per-node down intervals in slots, overriding `churn`
+    /// Exact per-node sleep intervals in slots, overriding `churn`
     /// (acceptance tests script precise outages, e.g. a gateway that
     /// surfaces on a duty cycle).
     pub churn_intervals: Option<Vec<Vec<(u64, u64)>>>,
+    /// Node *crash* model: downtime that power-cycles the relay —
+    /// volatile state dies at the down edge and the journal (if any) is
+    /// replayed at the wake edge.
+    pub crash: ChurnConfig,
+    /// Exact per-node crash intervals in slots, overriding `crash`.
+    pub crash_intervals: Option<Vec<Vec<(u64, u64)>>>,
+    /// Custody journaling; `None` models fully volatile nodes (crashes
+    /// then lose all custody state — the baseline `repro recovery`
+    /// quantifies against).
+    pub journal: Option<JournalConfig>,
     /// Relay engine knobs (set `direct` for the single-hop baseline).
     pub relay: RelayConfig,
     /// Offered application traffic.
@@ -124,11 +151,70 @@ impl RelayOceanConfig {
             batch: 256,
             churn: ChurnConfig::none(),
             churn_intervals: None,
+            crash: ChurnConfig::none(),
+            crash_intervals: None,
+            journal: None,
             relay: RelayConfig::default(),
             traffic: RelayTraffic::default(),
         }
     }
 }
+
+/// Why a relay-ocean configuration cannot run
+/// ([`try_run_relay_ocean`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimConfigError {
+    /// `nodes` was 0 or exceeded the `u16` address space.
+    BadNodeCount {
+        /// The offending node count.
+        nodes: usize,
+    },
+    /// Explicit positions did not match `nodes`.
+    PositionCount {
+        /// Configured node count.
+        expected: usize,
+        /// Positions supplied.
+        got: usize,
+    },
+    /// Scripted downtime intervals did not cover exactly `nodes` nodes.
+    IntervalNodes {
+        /// Configured node count.
+        expected: usize,
+        /// Interval lists supplied.
+        got: usize,
+    },
+    /// A traffic flow named a node outside `0..nodes`.
+    FlowAddress {
+        /// Source of the offending flow.
+        src: u16,
+        /// Destination of the offending flow.
+        dst: u16,
+    },
+    /// The offered traffic has degenerate fragmentation geometry.
+    Traffic(PlanError),
+}
+
+impl std::fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadNodeCount { nodes } => {
+                write!(f, "node count {nodes} outside 1..=65535")
+            }
+            Self::PositionCount { expected, got } => {
+                write!(f, "{got} explicit positions for {expected} nodes")
+            }
+            Self::IntervalNodes { expected, got } => {
+                write!(f, "{got} downtime interval lists for {expected} nodes")
+            }
+            Self::FlowAddress { src, dst } => {
+                write!(f, "flow ({src} -> {dst}) names a node outside the fleet")
+            }
+            Self::Traffic(e) => write!(f, "traffic geometry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
 
 /// Aggregate result of a relay-enabled ocean run.
 #[derive(Debug, Clone, PartialEq)]
@@ -164,6 +250,19 @@ pub struct RelayOceanResult {
     pub latency_p90_s: f64,
     /// Protocol counters summed over all relays.
     pub relay: RelayStats,
+    /// Crash-reboots applied across the fleet.
+    pub reboots: u64,
+    /// Messages handed to an application more than once, fleet-wide.
+    /// Always 0 — pinned by the chaos harness's at-most-once invariant.
+    pub dup_deliveries: u64,
+    /// Journal bytes appended across the fleet (live writes).
+    pub journal_bytes: u64,
+    /// Journal sync operations across the fleet.
+    pub journal_syncs: u64,
+    /// Snapshot compactions across the fleet.
+    pub journal_compactions: u64,
+    /// Journal records replayed by crash recovery across the fleet.
+    pub journal_replayed: u64,
     /// Heap events processed by the core.
     pub events: u64,
     /// Peak event-heap length.
@@ -175,7 +274,15 @@ struct RelayHooks<'a> {
     medium: &'a GeoMedium,
     phy: &'a PhyResolver,
     pool: &'a Pool,
+    /// Sleep ∪ crash: gates availability (event deferral, reception
+    /// loss).
     churn: &'a ChurnSchedule,
+    /// Crash intervals only: each wake edge power-cycles the relay.
+    crash: &'a ChurnSchedule,
+    /// Next unapplied crash interval per node (lazy reboot application).
+    crash_cursor: Vec<usize>,
+    /// Salt for the deterministic per-reboot torn-write draw.
+    torn_salt: u64,
     slot_s: f64,
     packet_duration_s: f64,
     batch: usize,
@@ -193,15 +300,41 @@ struct RelayHooks<'a> {
     /// Exact per-message latencies: DTN deliveries run hours, far past
     /// the MAC latency histogram's 1000 s top bucket.
     latencies_s: Vec<f64>,
+    /// Every application hand-up in resolution order (dups included —
+    /// the audit's at-most-once oracle reads this raw).
+    deliveries: Vec<(u16, u16)>,
+    delivered_set: HashSet<(u16, u16)>,
     transmissions: u64,
     receptions: u64,
     frames_delivered: u64,
     churn_losses: u64,
     msgs_delivered: u64,
+    dup_deliveries: u64,
     payload_mismatches: u64,
+    reboots: u64,
 }
 
 impl RelayHooks<'_> {
+    /// Applies every crash whose outage has fully elapsed by `now_slot`
+    /// to `node`'s relay, in schedule order. Called before the node's
+    /// next interaction (transmit decision or frame application) — a
+    /// down node neither transmits nor receives, so deferring the
+    /// power-cycle from the wake edge to the first post-wake touch is
+    /// observationally identical, and both call sites are pool-size-
+    /// independent points.
+    fn catch_up(&mut self, node: usize, now_slot: u64) {
+        while let Some(&(_, end)) = self.crash.intervals(node).get(self.crash_cursor[node]) {
+            if end > now_slot {
+                break;
+            }
+            let idx = self.crash_cursor[node];
+            self.crash_cursor[node] += 1;
+            let torn = node_seed(self.torn_salt ^ ((node as u64) << 20), idx);
+            self.relays[node].crash_reboot(end as f64 * self.slot_s, torn);
+            self.reboots += 1;
+        }
+    }
+
     /// Resolves buffered receptions in parallel and applies them to the
     /// relays in item order — called before every transmission decision
     /// and at the batch threshold, so flush points (and therefore every
@@ -220,12 +353,26 @@ impl RelayHooks<'_> {
                 continue;
             }
             self.frames_delivered += 1;
+            // SAFETY of the expects: every reception the core emits was
+            // created by `dest()` for the same `(tx, start_s)` key, which
+            // inserted the frame — and a frame built by the engine
+            // round-trips its own wire bits by construction (pinned by
+            // `net/tests/frame_fuzz.rs`). Neither can fail without a bug
+            // in this file, which is exactly when a loud panic beats a
+            // silently dropped frame.
             let frame = frame.expect("delivered reception has a frame in flight");
-            // Per-hop wire round-trip: what the relay hears is what the
-            // bits say, not what the sender's struct said.
             let frame = Frame::try_from_bits(&frame.to_bits()).expect("wire roundtrip");
             let now_s = rx.arrival_s + self.packet_duration_s;
+            // Any crash outage that ended before this frame physically
+            // arrived is applied first (the reception passed the churn
+            // gate, so no outage overlaps the arrival window itself).
+            let arrival_slot = (rx.arrival_s / self.slot_s).floor().max(0.0) as u64;
+            self.catch_up(out.dest as usize, arrival_slot);
             for d in self.relays[out.dest as usize].on_frame(rx.tx as u16, frame, now_s) {
+                self.deliveries.push((d.src, d.seq));
+                if !self.delivered_set.insert((d.src, d.seq)) {
+                    self.dup_deliveries += 1;
+                }
                 match self.expected.get(&(d.src, d.seq)) {
                     Some(want) if *want == d.payload => {
                         self.msgs_delivered += 1;
@@ -240,6 +387,9 @@ impl RelayHooks<'_> {
 
 impl SimHooks for RelayHooks<'_> {
     fn dest(&mut self, node: usize) -> Option<u32> {
+        // SAFETY of the expect: the event core calls `dest` exactly once,
+        // immediately after `on_transmit` for the same node — the seam's
+        // documented contract, pinned by the determinism suite.
         let (n, t_s, decision) = self.decision.take().expect("dest follows on_transmit");
         debug_assert_eq!(n, node);
         let (target, frame) = decision?;
@@ -256,6 +406,10 @@ impl SimHooks for RelayHooks<'_> {
         // Everything that physically arrived before this grant is heard
         // before the relay decides what to say.
         self.flush();
+        // The node is awake here (the core defers grants on the merged
+        // schedule), so every crash outage that ended by now reboots the
+        // relay before it decides what to say.
+        self.catch_up(node, (t_s / self.slot_s).floor().max(0.0) as u64);
         self.transmissions += 1;
         let decision = self.relays[node].next_frame(t_s, &self.candidates[node]);
         self.decision = Some((node, t_s, decision));
@@ -293,7 +447,8 @@ fn quantile(xs: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    // Total order over floats: immune to NaN, no panic path.
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
     let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
     sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - rank.floor())
@@ -322,23 +477,102 @@ fn message_payload(seed: u64, src: u16, dst: u16, msg: usize, len: usize) -> Vec
 
 /// Runs one relay-enabled ocean deployment on the given pool.
 /// Deterministic in `cfg.seed`; bit-identical for every pool size
-/// (`net/tests/relay_determinism.rs`).
+/// (`net/tests/relay_determinism.rs`). Panics on an invalid config —
+/// every call site in this workspace builds configs programmatically;
+/// externally-sourced configs go through [`try_run_relay_ocean`].
 pub fn run_relay_ocean(cfg: &RelayOceanConfig, pool: &Pool) -> RelayOceanResult {
-    assert!(cfg.nodes >= 1 && cfg.nodes <= u16::MAX as usize);
+    match try_run_relay_ocean(cfg, pool) {
+        Ok(r) => r,
+        Err(e) => panic!("invalid relay ocean config: {e}"),
+    }
+}
+
+/// Fallible variant of [`run_relay_ocean`]: configuration problems come
+/// back as a typed [`SimConfigError`] instead of a panic.
+pub fn try_run_relay_ocean(
+    cfg: &RelayOceanConfig,
+    pool: &Pool,
+) -> Result<RelayOceanResult, SimConfigError> {
+    run_inner(cfg, pool, false).map(|(r, _)| r)
+}
+
+/// Runs the deployment *and* snapshots the fleet for the conservation
+/// invariants ([`crate::audit::check_invariants`]). The audit's custody-
+/// conservation oracle is only sound when custody is on, relaying is
+/// enabled, and no bundle can lawfully expire or be priority-evicted
+/// mid-run — this function checks those preconditions loudly.
+pub fn run_relay_ocean_audit(
+    cfg: &RelayOceanConfig,
+    pool: &Pool,
+) -> Result<(RelayOceanResult, FleetAudit), SimConfigError> {
+    assert!(cfg.relay.custody, "audit runs need custody transfer on");
+    assert!(!cfg.relay.direct, "audit runs need relaying enabled");
+    assert!(
+        cfg.traffic.ttl_s as f64 >= cfg.sim_duration_s + 2.0 * cfg.mac.slot_s,
+        "audit runs need TTLs covering the whole run with slack (expiry lawfully \
+         ends custody, and the final reboot pass lands up to a slot past the \
+         horizon, so ttl == duration can expire t=0 bundles at the boundary)"
+    );
+    let (result, audit) = run_inner(cfg, pool, true)?;
+    // SAFETY of the expect: `run_inner` returns `Some` audit iff called
+    // with `audit = true`, which this line does — a `None` here is a bug
+    // in this file, not a runtime condition.
+    let audit = audit.expect("audit requested");
+    // Uniform-priority traffic cannot be priority-evicted (eviction
+    // requires a strictly lower-priority victim) and run-spanning TTLs
+    // cannot expire; any eviction here would silently void the
+    // conservation oracle's premise.
+    assert_eq!(
+        (result.relay.evictions_ttl, result.relay.evictions_cap),
+        (0, 0),
+        "audit premise violated: custody lawfully dropped by eviction"
+    );
+    Ok((result, audit))
+}
+
+fn run_inner(
+    cfg: &RelayOceanConfig,
+    pool: &Pool,
+    want_audit: bool,
+) -> Result<(RelayOceanResult, Option<FleetAudit>), SimConfigError> {
+    if cfg.nodes < 1 || cfg.nodes > u16::MAX as usize {
+        return Err(SimConfigError::BadNodeCount { nodes: cfg.nodes });
+    }
+    for down in [&cfg.churn_intervals, &cfg.crash_intervals]
+        .into_iter()
+        .flatten()
+    {
+        if down.len() != cfg.nodes {
+            return Err(SimConfigError::IntervalNodes {
+                expected: cfg.nodes,
+                got: down.len(),
+            });
+        }
+    }
+    for &(src, dst) in &cfg.traffic.pairs {
+        if src as usize >= cfg.nodes || dst as usize >= cfg.nodes {
+            return Err(SimConfigError::FlowAddress { src, dst });
+        }
+    }
     let rg = RangeGain::lake();
     let positions = match &cfg.topology {
         RelayTopology::Kind(kind) => {
             OceanTopology::generate(*kind, cfg.nodes, cfg.seed, &rg).positions
         }
         RelayTopology::Explicit(p) => {
-            assert_eq!(p.len(), cfg.nodes, "explicit positions must match nodes");
+            if p.len() != cfg.nodes {
+                return Err(SimConfigError::PositionCount {
+                    expected: cfg.nodes,
+                    got: p.len(),
+                });
+            }
             p.clone()
         }
     };
     let medium = GeoMedium::new(positions, rg);
     let phy = PhyResolver::new(cfg.band, rg, cfg.mac.packet_duration_s, cfg.seed);
     let max_slots = (cfg.sim_duration_s / cfg.mac.slot_s).ceil() as u64;
-    let churn = match &cfg.churn_intervals {
+    let sleep = match &cfg.churn_intervals {
         Some(down) => ChurnSchedule::from_intervals(down.clone(), max_slots),
         // Same salt as the plain ocean: outage timing never aliases the
         // MAC/PHY randomness.
@@ -350,11 +584,34 @@ pub fn run_relay_ocean(cfg: &RelayOceanConfig, pool: &Pool) -> RelayOceanResult 
             cfg.seed ^ 0xC08A_12D5,
         ),
     };
+    let crash = match &cfg.crash_intervals {
+        Some(down) => ChurnSchedule::from_intervals(down.clone(), max_slots),
+        // A third salt: crash timing aliases neither MAC/PHY draws nor
+        // the sleep schedule.
+        None => ChurnSchedule::generate(
+            &cfg.crash,
+            cfg.nodes,
+            max_slots,
+            cfg.mac.slot_s,
+            cfg.seed ^ 0xC4A5_11FE,
+        ),
+    };
+    // Availability is gated on sleep ∪ crash; union with an empty crash
+    // schedule reproduces the sleep schedule exactly, preserving the
+    // sleep-only bit-identity contract.
+    let churn = sleep.union(&crash);
     let mut relays: Vec<RelayNode> = (0..cfg.nodes)
-        .map(|i| RelayNode::new(i as u16, cfg.relay.clone(), node_seed(cfg.seed, i)))
+        .map(|i| {
+            let seed = node_seed(cfg.seed, i);
+            match cfg.journal {
+                Some(jcfg) => RelayNode::with_journal(i as u16, cfg.relay.clone(), seed, jcfg),
+                None => RelayNode::new(i as u16, cfg.relay.clone(), seed),
+            }
+        })
         .collect();
     // Offer all traffic at t = 0; the DTN queues do the waiting.
     let mut expected = HashMap::new();
+    let mut offered: Vec<(BundleKey, u16)> = Vec::new();
     let mut msgs_offered = 0u64;
     let mut next_seq = vec![0u16; cfg.nodes];
     let copies = if cfg.relay.direct {
@@ -378,8 +635,18 @@ pub fn run_relay_ocean(cfg: &RelayOceanConfig, pool: &Pool) -> RelayOceanResult 
                 &payload,
                 cfg.traffic.frag_bytes,
             )
-            .expect("valid traffic geometry");
-            relays[src as usize].source(bundles, 0.0);
+            .map_err(SimConfigError::Traffic)?;
+            if want_audit {
+                offered.extend(bundles.iter().map(|b| (b.key(), dst)));
+            }
+            let frags = bundles.len();
+            let stored = relays[src as usize].source(bundles, 0.0);
+            if want_audit {
+                // A source-time reject would mean custody was never
+                // accepted — the offered list would lie. Size queues to
+                // the offered load in audit runs.
+                assert_eq!(stored, frags, "audit runs must store all offered fragments");
+            }
             expected.insert((src, seq), payload);
             msgs_offered += 1;
         }
@@ -405,6 +672,9 @@ pub fn run_relay_ocean(cfg: &RelayOceanConfig, pool: &Pool) -> RelayOceanResult 
         phy: &phy,
         pool,
         churn: &churn,
+        crash: &crash,
+        crash_cursor: vec![0; cfg.nodes],
+        torn_salt: cfg.seed ^ 0x7042_5EED,
         slot_s: cfg.mac.slot_s,
         packet_duration_s: cfg.mac.packet_duration_s,
         batch: cfg.batch.max(1),
@@ -415,15 +685,25 @@ pub fn run_relay_ocean(cfg: &RelayOceanConfig, pool: &Pool) -> RelayOceanResult 
         pending: Vec::new(),
         expected,
         latencies_s: Vec::new(),
+        deliveries: Vec::new(),
+        delivered_set: HashSet::new(),
         transmissions: 0,
         receptions: 0,
         frames_delivered: 0,
         churn_losses: 0,
         msgs_delivered: 0,
+        dup_deliveries: 0,
         payload_mismatches: 0,
+        reboots: 0,
     };
     let core = EventCore::new(&cfg.mac, &medium, &mut hooks, cfg.seed).run(max_slots);
     hooks.flush();
+    // Crashes whose outage outlived the node's last interaction still
+    // happened: apply them so end-of-run state (and the audit snapshot)
+    // reflects every scheduled power-cycle.
+    for node in 0..cfg.nodes {
+        hooks.catch_up(node, max_slots);
+    }
     let mut relay = RelayStats::default();
     for r in &hooks.relays {
         let s = r.stats();
@@ -443,7 +723,44 @@ pub fn run_relay_ocean(cfg: &RelayOceanConfig, pool: &Pool) -> RelayOceanResult 
         relay.hop_drops += s.hop_drops;
         relay.delivered_msgs += s.delivered_msgs;
     }
-    RelayOceanResult {
+    let (mut journal_bytes, mut journal_syncs, mut journal_compactions) = (0u64, 0u64, 0u64);
+    let mut journal_replayed = 0u64;
+    for r in &hooks.relays {
+        if let Some(js) = r.journal_stats() {
+            journal_bytes += js.bytes;
+            journal_syncs += js.syncs;
+            journal_compactions += js.compactions;
+        }
+        for rb in r.reboot_log() {
+            journal_replayed += rb.replayed;
+        }
+    }
+    let audit = want_audit.then(|| {
+        let mut a = FleetAudit {
+            offered,
+            deliveries: hooks.deliveries.clone(),
+            ..FleetAudit::default()
+        };
+        for r in &hooks.relays {
+            let n = r.addr();
+            for k in r.queue_keys() {
+                a.held.entry(k).or_default().push(n);
+            }
+            let frags: BTreeSet<BundleKey> = r.pending_frag_keys().into_iter().collect();
+            if !frags.is_empty() {
+                a.dest_frags.insert(n, frags);
+            }
+            let delivered: BTreeSet<(u16, u16)> = r.delivered_message_ids().into_iter().collect();
+            if !delivered.is_empty() {
+                a.delivered.insert(n, delivered);
+            }
+            for rb in r.reboot_log() {
+                a.reboots.push((n, rb.durable, rb.replayed));
+            }
+        }
+        a
+    });
+    let result = RelayOceanResult {
         nodes: cfg.nodes,
         duration_s: core.duration_s,
         transmissions: hooks.transmissions,
@@ -463,9 +780,16 @@ pub fn run_relay_ocean(cfg: &RelayOceanConfig, pool: &Pool) -> RelayOceanResult 
         latency_p50_s: quantile(&hooks.latencies_s, 0.5),
         latency_p90_s: quantile(&hooks.latencies_s, 0.9),
         relay,
+        reboots: hooks.reboots,
+        dup_deliveries: hooks.dup_deliveries,
+        journal_bytes,
+        journal_syncs,
+        journal_compactions,
+        journal_replayed,
         events: core.events,
         peak_heap: core.peak_heap,
-    }
+    };
+    Ok((result, audit))
 }
 
 #[cfg(test)]

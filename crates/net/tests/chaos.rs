@@ -1,0 +1,328 @@
+//! The crash-fault chaos harness (DESIGN.md §15, release-gated by
+//! `ci.sh`): seeded randomized crash schedules swept across crash rate,
+//! journal sync granularity and compaction budget, every run checked by
+//! the three conservation invariants — custody conservation, at-most-
+//! once delivery, journal-bounded loss. Plus the scripted acceptance
+//! scenario (a 2 KB message crossing a 3-hop chain while the middle
+//! relay power-cycles mid-custody), the sleep-only inertness contract,
+//! mutation tests proving the invariant oracle actually fires, and the
+//! `DupFilter` cured-eviction bound.
+
+use aqua_channel::geometry::Pos;
+use aqua_mac::ocean::ChurnConfig;
+use aqua_net::bundle::fragment_message;
+use aqua_net::sim::{run_relay_ocean, run_relay_ocean_audit, RelayOceanConfig, RelayTopology};
+use aqua_net::{
+    check_invariants, Frame, JournalConfig, Priority, RelayConfig, RelayNode, Violation,
+};
+use aqua_par::Pool;
+use proptest::prelude::*;
+
+/// A line of nodes spaced `gap_m` apart at diver depth.
+fn line(n: usize, gap_m: f64) -> Vec<Pos> {
+    (0..n)
+        .map(|i| Pos::new(i as f64 * gap_m, 0.0, 2.0))
+        .collect()
+}
+
+/// Seconds → event-core slots at the configured slot width.
+fn slots(cfg: &RelayOceanConfig, t_s: f64) -> u64 {
+    (t_s / cfg.mac.slot_s).round() as u64
+}
+
+/// Relay knobs tuned for a small always-chattering testbed (same tuning
+/// as the relay acceptance suite).
+fn testbed(mut cfg: RelayOceanConfig) -> RelayOceanConfig {
+    cfg.mac.initial_delay_s = (0.0, 4.0);
+    cfg.mac.inter_packet_gap_s = (8.0, 24.0);
+    cfg.relay.queue_cap = 128;
+    cfg.relay.min_rto_s = 20.0;
+    cfg.relay.max_rto_s = 80.0;
+    cfg.relay.focus_after_s = 60.0;
+    cfg.relay.max_hops = 128;
+    cfg
+}
+
+/// One randomized chaos deployment: a 5-node line with two crossing
+/// flows, randomized crashes from the seeded schedule generator, and
+/// journal knobs swept by seed index.
+fn chaos_cfg(seed: u64) -> RelayOceanConfig {
+    let mut cfg = testbed(RelayOceanConfig::deployment(
+        RelayTopology::Explicit(line(5, 30.0)),
+        5,
+        2700.0,
+        seed,
+    ));
+    cfg.traffic.pairs = vec![(0, 4), (3, 1)];
+    cfg.traffic.payload_bytes = 96;
+    cfg.traffic.frag_bytes = 32;
+    // TTL strictly past the horizon: a bundle sourced at t=0 with
+    // ttl == duration expires *at* the final slot, and a crash whose
+    // outage is truncated by the run end would lawfully (but
+    // confusingly) expire it during the last recovery.
+    cfg.traffic.ttl_s = 5400;
+    // Crash intensity ladder: every node power-cycles a handful of
+    // times per run at the heavier settings.
+    cfg.crash = match seed % 3 {
+        0 => ChurnConfig {
+            mtbf_s: 900.0,
+            mttr_s: 60.0,
+            ..ChurnConfig::none()
+        },
+        1 => ChurnConfig {
+            mtbf_s: 600.0,
+            mttr_s: 120.0,
+            ..ChurnConfig::none()
+        },
+        _ => ChurnConfig {
+            mtbf_s: 300.0,
+            mttr_s: 90.0,
+            ..ChurnConfig::none()
+        },
+    };
+    // Journal knob sweep: sync granularity × compaction budget.
+    cfg.journal = Some(JournalConfig {
+        sync_every_bytes: [64, 256, 1024][(seed % 3) as usize],
+        compact_budget_bytes: [2048, 16 * 1024][(seed % 2) as usize],
+    });
+    cfg
+}
+
+/// ≥ 32 seeded crash schedules, zero invariant violations — the
+/// tentpole's chaos sweep. Each seed draws its own crash schedule,
+/// crash intensity, sync granularity and compaction budget.
+#[test]
+fn chaos_sweep_holds_all_invariants_across_32_seeds() {
+    let pool = Pool::new(2);
+    let mut total_reboots = 0u64;
+    for seed in 0..32u64 {
+        let cfg = chaos_cfg(seed);
+        let (r, audit) = run_relay_ocean_audit(&cfg, &pool).expect("valid chaos config");
+        let violations = check_invariants(&audit);
+        assert!(
+            violations.is_empty(),
+            "seed {seed}: invariant violations {violations:?}\n{r:?}"
+        );
+        assert_eq!(
+            r.dup_deliveries, 0,
+            "seed {seed}: at-most-once at the sim layer"
+        );
+        assert_eq!(r.payload_mismatches, 0, "seed {seed}");
+        total_reboots += r.reboots;
+    }
+    assert!(
+        total_reboots >= 32,
+        "the sweep must actually crash nodes, got {total_reboots} reboots"
+    );
+}
+
+/// The release-gated acceptance scenario: a 2 KB payload crosses the
+/// 3-hop chain `0 — 1 — 2 — 3` bit-exact while the middle relay
+/// power-cycles mid-custody (volatile state lost, journal replayed).
+/// The same schedule with journaling disabled provably loses custody:
+/// the conservation oracle flags the vanished fragments and the message
+/// never completes.
+#[test]
+fn crash_mid_custody_durable_delivers_volatile_provably_loses() {
+    let base = {
+        let mut cfg = testbed(RelayOceanConfig::deployment(
+            RelayTopology::Explicit(line(4, 30.0)),
+            4,
+            10_800.0,
+            42,
+        ));
+        cfg.traffic.pairs = vec![(0, 3)];
+        cfg.traffic.payload_bytes = 2048;
+        cfg.traffic.frag_bytes = 32;
+        cfg.traffic.ttl_s = 21_600;
+        // Single-copy custody walk: at any instant exactly one node is
+        // responsible for each fragment, so a mid-custody crash has no
+        // redundant copy to fall back on — durability must come from
+        // the journal or not at all.
+        cfg.relay.spray_copies = 1;
+        // Node 1 power-cycles from t=600 s to t=900 s, mid-transfer,
+        // with custody outstanding on both sides.
+        let dark = (slots(&cfg, 600.0), slots(&cfg, 900.0));
+        cfg.crash_intervals = Some(vec![vec![], vec![dark], vec![], vec![]]);
+        cfg
+    };
+    let pool = Pool::new(1);
+
+    let mut durable = base.clone();
+    durable.journal = Some(JournalConfig::default());
+    let (r, audit) = run_relay_ocean_audit(&durable, &pool).expect("valid config");
+    assert_eq!(r.reboots, 1, "the middle relay must power-cycle: {r:?}");
+    assert!(
+        r.journal_replayed > 0,
+        "recovery must replay journaled custody: {r:?}"
+    );
+    assert_eq!(r.msgs_delivered, 1, "durable run must deliver: {r:?}");
+    assert_eq!(r.payload_mismatches, 0, "delivery must be bit-exact");
+    let violations = check_invariants(&audit);
+    assert!(
+        violations.is_empty(),
+        "durable run is clean: {violations:?}"
+    );
+
+    let (rv, audit_v) = run_relay_ocean_audit(&base, &pool).expect("valid config");
+    assert_eq!(rv.reboots, 1);
+    assert_eq!(
+        rv.msgs_delivered, 0,
+        "volatile crash must lose the message: {rv:?}"
+    );
+    let violations = check_invariants(&audit_v);
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, Violation::CustodyLost { .. })),
+        "the oracle must flag the vanished custody: {violations:?}"
+    );
+}
+
+/// Sleep-only churn is inert with respect to journaling: the same
+/// sleep schedule with a journal attached (and no crashes) produces the
+/// identical protocol trajectory — every non-journal result field
+/// matches bit-for-bit the run without a journal, which itself is the
+/// pinned PR 9 behavior (no crash schedule, no journal, no new code on
+/// the hot path).
+#[test]
+fn sleep_only_churn_is_bit_identical_with_and_without_journal() {
+    let mut cfg = testbed(RelayOceanConfig::deployment(
+        RelayTopology::Explicit(line(5, 30.0)),
+        5,
+        3600.0,
+        11,
+    ));
+    cfg.traffic.pairs = vec![(0, 4)];
+    cfg.traffic.payload_bytes = 128;
+    cfg.traffic.frag_bytes = 32;
+    cfg.traffic.ttl_s = 3600;
+    cfg.churn = ChurnConfig {
+        mtbf_s: 400.0,
+        mttr_s: 120.0,
+        duty_cycle: 0.85,
+        duty_period_s: 60.0,
+    };
+    let pool = Pool::new(1);
+    let volatile = run_relay_ocean(&cfg, &pool);
+    assert!(volatile.churn_losses > 0, "sleep churn must bite");
+
+    let mut journaled_cfg = cfg.clone();
+    journaled_cfg.journal = Some(JournalConfig::default());
+    let mut journaled = run_relay_ocean(&journaled_cfg, &pool);
+    assert!(journaled.journal_bytes > 0, "the journal must be written");
+    assert_eq!(journaled.reboots, 0, "no crash schedule, no reboots");
+    // Blank the journal-only counters; everything else must match
+    // bit-for-bit.
+    journaled.journal_bytes = 0;
+    journaled.journal_syncs = 0;
+    assert_eq!(
+        journaled, volatile,
+        "journaling must not perturb the protocol"
+    );
+}
+
+/// The invariant checker must catch planted faults — an oracle nobody
+/// has watched catch a bug is not an oracle. A clean audited run is
+/// sabotaged three ways: a custody drop, a double delivery, and a
+/// journal regression.
+#[test]
+fn planted_faults_are_flagged_by_the_invariant_checker() {
+    let cfg = chaos_cfg(3);
+    let (_, clean) = run_relay_ocean_audit(&cfg, &Pool::new(1)).expect("valid config");
+    assert!(
+        check_invariants(&clean).is_empty(),
+        "baseline must be clean"
+    );
+    assert!(
+        !clean.offered.is_empty() && !clean.deliveries.is_empty(),
+        "the scenario must offer and deliver traffic"
+    );
+
+    // Seeded custody drop: pick an offered fragment and erase it from
+    // every live holder, the destination buffers, and the delivered set.
+    let mut sabotaged = clean.clone();
+    let (key, dst) = sabotaged.offered[0];
+    sabotaged.held.remove(&key);
+    if let Some(frags) = sabotaged.dest_frags.get_mut(&dst) {
+        frags.remove(&key);
+    }
+    for delivered in sabotaged.delivered.values_mut() {
+        delivered.remove(&(key.src, key.seq));
+    }
+    let violations = check_invariants(&sabotaged);
+    assert!(
+        violations.contains(&Violation::CustodyLost { key }),
+        "planted custody drop must be flagged: {violations:?}"
+    );
+
+    // Seeded double delivery: replay the first hand-up.
+    let mut sabotaged = clean.clone();
+    let (src, seq) = sabotaged.deliveries[0];
+    sabotaged.deliveries.push((src, seq));
+    let violations = check_invariants(&sabotaged);
+    assert!(
+        violations.contains(&Violation::DoubleDelivery { src, seq }),
+        "planted double delivery must be flagged: {violations:?}"
+    );
+
+    // Seeded journal regression: a reboot that replayed one record
+    // fewer than was durable.
+    let mut sabotaged = clean;
+    sabotaged.reboots.push((2, 5, 4));
+    let violations = check_invariants(&sabotaged);
+    assert!(
+        violations.contains(&Violation::JournalLoss {
+            node: 2,
+            durable: 5,
+            replayed: 4
+        }),
+        "planted journal loss must be flagged: {violations:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The `DupFilter` cured-eviction bound, demonstrated and defused.
+    /// A destination's `cured` filter is FIFO-bounded: flooding it with
+    /// enough foreign keys evicts a delivered message's cure marker, so
+    /// a lingering spray copy arriving later is no longer short-
+    /// circuited by the anti-packet path. Before PR 10 that copy could
+    /// re-open reassembly and re-deliver; the exact `delivered_here`
+    /// set now guarantees at-most-once delivery *regardless* of filter
+    /// pressure — which is what this property pins.
+    #[test]
+    fn cured_eviction_never_causes_double_delivery(
+        flood in 1usize..200,
+        seen_cap in 4usize..64,
+        payload in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let cfg = RelayConfig {
+            seen_cap,
+            min_rto_s: 10.0,
+            max_rto_s: 40.0,
+            ..RelayConfig::default()
+        };
+        let mut dst = RelayNode::new(9, cfg, 5);
+        let frag = fragment_message(0, 9, 0, Priority::Chat, true, 600, 4, &payload, 32)
+            .expect("valid geometry")
+            .remove(0);
+        let got = dst.on_frame(0, Frame::Bundle(frag.clone()), 1.0);
+        prop_assert_eq!(got.len(), 1, "single-fragment message delivers");
+
+        // Flood the destination with foreign relayed traffic so the
+        // bounded filters churn well past `seen_cap` entries.
+        for i in 0..flood {
+            let other = fragment_message(7, 3, i as u16, Priority::Chat, true, 600, 2, &[1], 32)
+                .expect("valid geometry")
+                .remove(0);
+            dst.on_frame(7, Frame::Bundle(other), 2.0 + i as f64);
+        }
+
+        // The lingering spray copy of the delivered message returns.
+        let got = dst.on_frame(2, Frame::Bundle(frag), 500.0);
+        prop_assert!(got.is_empty(), "re-delivery despite filter eviction");
+        prop_assert_eq!(dst.stats().delivered_msgs, 1);
+    }
+}

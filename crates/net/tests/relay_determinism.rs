@@ -10,6 +10,7 @@
 
 use aqua_mac::ocean::{ChurnConfig, TopologyKind};
 use aqua_net::sim::{run_relay_ocean, RelayOceanConfig, RelayOceanResult, RelayTopology};
+use aqua_net::JournalConfig;
 use aqua_par::Pool;
 
 /// A churned 49-node grid with multi-hop flows and a batch size small
@@ -71,6 +72,32 @@ fn relay_run_is_pool_size_invariant() {
     for threads in [2, 4] {
         let par = run_relay_ocean(&cfg, &Pool::new(threads));
         assert_identical(&par, &serial, &format!("{threads} workers"));
+    }
+}
+
+#[test]
+fn crashing_journaled_run_is_pool_size_invariant() {
+    // Crash-reboots are applied lazily at each node's next interaction,
+    // a pool-size-independent point; torn seeds and reboot times derive
+    // only from the schedule. So the full result — including the new
+    // reboot/journal counters — must stay bit-identical across pools.
+    let mut cfg = churned_grid();
+    cfg.crash = ChurnConfig {
+        mtbf_s: 400.0,
+        mttr_s: 120.0,
+        duty_cycle: 1.0,
+        duty_period_s: 0.0,
+    };
+    cfg.journal = Some(JournalConfig::default());
+    let serial = run_relay_ocean(&cfg, &Pool::new(1));
+    assert!(serial.reboots > 0, "crashes must bite: {serial:?}");
+    assert!(
+        serial.journal_replayed > 0,
+        "reboots must replay journal state: {serial:?}"
+    );
+    for threads in [2, 4] {
+        let par = run_relay_ocean(&cfg, &Pool::new(threads));
+        assert_identical(&par, &serial, &format!("{threads} workers, crashing"));
     }
 }
 
